@@ -1,0 +1,51 @@
+"""Intra-device block scaling (supports the paper's §4.4 claim).
+
+The paper argues DiggerBees "scales naturally with increased SM count".
+This benchmark sweeps the block count on one device and records the
+MTEPS curve: rising while the graph can feed more blocks, then flat
+(never collapsing) once parallelism saturates — the within-device view
+of Figure 7's cross-device ratio and of Figure 8's v3 -> v4 step.
+"""
+
+from repro.bench.harness import BenchConfig, pick_roots
+from repro.core import run_diggerbees
+from repro.graphs import collections as col
+from repro.sim.device import H100
+from repro.utils.tables import format_table
+
+CFG = BenchConfig(warps_per_block=8, seed=7)
+
+BLOCK_COUNTS = (1, 2, 4, 8, 17, 33)
+
+
+def test_block_scaling_curve(benchmark, archive, quick):
+    big = col.load("euro_osm", scale=1 if quick else 2)
+    small = col.load("amazon")
+
+    def run():
+        rows = []
+        for g in (big, small):
+            root = pick_roots(g, CFG)[0]   # GAP-style source, as elsewhere
+            for nb in BLOCK_COUNTS:
+                cfg = CFG.diggerbees_config(n_blocks=nb)
+                res = run_diggerbees(g, root, config=cfg, device=H100)
+                rows.append([g.name, nb, res.mteps])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    archive("block_scaling",
+            format_table(["graph", "blocks", "MTEPS"], rows, floatfmt=".1f",
+                         title="Block scaling on H100 (paper §4.4 claim)"))
+
+    curves = {}
+    for graph, nb, m in rows:
+        curves.setdefault(graph, {})[nb] = m
+    big_curve = curves[big.name]
+    small_curve = curves[small.name]
+
+    # The big deep graph keeps gaining well past one block...
+    assert big_curve[8] > 1.5 * big_curve[1]
+    assert big_curve[33] >= 0.9 * big_curve[17]      # never collapses
+    # ...while the small graph saturates early (paper: 'amazon'/'google'
+    # gain only 2-12% from v3 to v4).
+    assert small_curve[33] < 1.3 * small_curve[4]

@@ -1,0 +1,43 @@
+"""Calibration benchmark: pin the cost tables to their physical anchors.
+
+Prints the derived-vs-target table (DESIGN.md §4.3) and measures the
+achieved MTEPS ranges per method on a reference graph pair, so any
+drift in ``repro.sim.device`` shows up in benchmark logs.
+"""
+
+from repro.bench.harness import BenchConfig, run_method
+from repro.graphs import collections as col
+from repro.sim.calibration import calibration_table, derive_anchors
+from repro.utils.tables import format_table
+
+
+def test_calibration_anchors(benchmark, archive):
+    table = benchmark.pedantic(calibration_table, rounds=1, iterations=1)
+    archive("calibration_anchors", table)
+    for anchor in derive_anchors():
+        assert anchor.within_tolerance, anchor.name
+
+
+def test_calibration_mteps_ranges(benchmark, archive):
+    """The absolute MTEPS ranges must stay in the plausible envelope the
+    calibration was aimed at (order of magnitude, not exact values)."""
+    cfg = BenchConfig(sim_scale=0.125, warps_per_block=8, n_roots=1, seed=7)
+    deep = col.load("euro_osm")
+    shallow = col.load("ljournal")
+
+    def run():
+        rows = []
+        for g in (deep, shallow):
+            for m in ("DiggerBees", "CKL-PDFS", "BerryBees"):
+                rows.append([g.name, m, run_method(m, g, 0, cfg).mteps])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    archive("calibration_mteps",
+            format_table(["graph", "method", "MTEPS"], rows, floatfmt=".1f",
+                         title="Calibration — achieved MTEPS envelope"))
+    perf = {(r[0], r[1]): r[2] for r in rows}
+    # Envelope checks (an order-of-magnitude corridor, scaled machines).
+    assert 20 < perf[("euro_osm", "DiggerBees")] < 3000
+    assert 10 < perf[("euro_osm", "CKL-PDFS")] < 1000
+    assert 100 < perf[("ljournal", "BerryBees")] < 50000

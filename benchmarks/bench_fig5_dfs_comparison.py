@@ -1,0 +1,33 @@
+"""Figure 5 — DiggerBees vs CKL-PDFS / ACR-PDFS / NVG-DFS over the corpus.
+
+Paper claims reproduced in shape:
+* geomean speedup > 1 vs both CPU baselines (paper: 1.37x / 1.83x);
+* geomean speedup >> 10 vs NVG-DFS (paper: 30.18x, up to 1841x);
+* NVG-DFS fails on a nonzero fraction of the corpus (paper: 44/234).
+"""
+
+from repro.bench import experiments as E
+from repro.graphs import collections as col
+
+
+def _corpus(quick):
+    sizes = [1200, 3600] if quick else [400, 1200, 3600, 9000]
+    return col.build_corpus(sizes=sizes)
+
+
+def test_fig5_dfs_comparison(benchmark, bench_cfg, archive, quick):
+    corpus = _corpus(quick)
+    result = benchmark.pedantic(
+        lambda: E.fig5(bench_cfg, corpus=corpus), rounds=1, iterations=1)
+    archive("fig5_dfs_comparison", result.render())
+
+    assert result.geomean_vs["NVG-DFS"] > 10.0
+    # ACR is the slower CPU baseline overall, as in the paper.
+    assert result.geomean_vs["ACR-PDFS"] >= result.geomean_vs["CKL-PDFS"] * 0.98
+    if not quick:
+        # The GPU advantage needs graphs big enough to feed the grid
+        # (the paper's corpus averages millions of vertices); the quick
+        # corpus is dominated by start-up ramp.
+        assert result.geomean_vs["CKL-PDFS"] > 1.0
+        assert result.geomean_vs["ACR-PDFS"] > 1.0
+        assert result.nvg_failures > 0

@@ -1,0 +1,31 @@
+"""Figure 6 — 12 representative graphs: 4 DFS methods + best BFS.
+
+Paper shape: DiggerBees beats the best BFS on deep road/mesh graphs
+(euro_osm, hugebubbles, il2010: long narrow traversal paths) and loses
+on shallow social graphs (ljournal: paper 3.70x slower than BFS).
+"""
+
+from repro.bench import experiments as E
+
+
+def test_fig6_representative(benchmark, bench_cfg, archive):
+    result = benchmark.pedantic(lambda: E.fig6(bench_cfg),
+                                rounds=1, iterations=1)
+    archive("fig6_representative", result.render())
+
+    rows = {r["graph"]: r for r in result.rows}
+
+    # Deep graphs: DiggerBees wins against the best BFS.
+    for name in ("euro_osm", "hugebubbles", "il2010"):
+        assert rows[name]["DiggerBees"] > rows[name]["BestBFS"], name
+
+    # Shallow social graphs: BFS wins (paper: 3.70x on ljournal).
+    for name in ("ljournal", "google", "wiki"):
+        assert rows[name]["BestBFS"] > rows[name]["DiggerBees"], name
+    lj = rows["ljournal"]
+    assert 1.5 < lj["BestBFS"] / lj["DiggerBees"] < 12.0
+
+    # DiggerBees beats every other DFS method on every deep graph.
+    for name in ("euro_osm", "hugebubbles", "il2010"):
+        r = rows[name]
+        assert r["DiggerBees"] > max(r["CKL-PDFS"], r["ACR-PDFS"], r["NVG-DFS"])

@@ -1,0 +1,25 @@
+"""Figure 7 — A100 vs H100 scalability of DiggerBees vs NVG-DFS.
+
+Paper shape: both methods speed up on H100, but DiggerBees' geomean
+H100/A100 ratio (paper 1.33x) exceeds NVG-DFS's (paper 1.18x), tracking
+the 1.22x SM-count increase.
+"""
+
+from repro.bench import experiments as E
+from repro.graphs import collections as col
+
+
+def test_fig7_scalability(benchmark, bench_cfg, archive, quick):
+    sizes = [1200] if quick else [1200, 3600, 9000]
+    corpus = col.build_corpus(sizes=sizes)
+    result = benchmark.pedantic(
+        lambda: E.fig7(bench_cfg, corpus=corpus), rounds=1, iterations=1)
+    archive("fig7_scalability", result.render())
+
+    sc = result.geomean_scalability
+    assert sc["DiggerBees"] > 1.0
+    assert sc["NVG-DFS"] > 0.95
+    # The headline claim: DiggerBees scales better across generations.
+    assert sc["DiggerBees"] > sc["NVG-DFS"]
+    # And tracks the hardware scaling (1.22x SMs + clock) within reason.
+    assert 1.03 < sc["DiggerBees"] < 1.6

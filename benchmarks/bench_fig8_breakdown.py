@@ -1,0 +1,38 @@
+"""Figure 8 — performance breakdown of DiggerBees v1 -> v4 on six graphs.
+
+Paper shape:
+* v2 > v1 on every graph (~45% average: the two-level stack removes the
+  global-memory latency from every push/pop);
+* v3 >> v2 on large graphs (inter-block stealing activates the rest of
+  the GPU; paper up to 37x, scale-limited here);
+* v4 >= v3 with large graphs gaining and small graphs nearly flat
+  (paper: 'amazon'/'google' gain only 2-12%).
+"""
+
+from repro.bench import experiments as E
+from repro.utils.stats import geometric_mean
+
+
+def test_fig8_breakdown(benchmark, bench_cfg, archive, quick):
+    scale = 1 if quick else 2
+    result = benchmark.pedantic(lambda: E.fig8(bench_cfg, scale=scale),
+                                rounds=1, iterations=1)
+    archive("fig8_breakdown", result.render())
+
+    rows = {r["graph"]: r for r in result.rows}
+    geo = result.step_geomeans()
+
+    # v2/v1: the two-level stack helps everywhere (paper ~1.45x geomean).
+    for name, r in rows.items():
+        assert r["v2/v1"] > 1.05, f"two-level stack did not help on {name}"
+    assert 1.1 < geo["v2/v1"] < 2.5
+
+    # v3/v2: inter-block stealing gives the dominant jump on big deep
+    # graphs (paper 25.9x on euro_osm; scale-limited here but clear).
+    assert rows["euro_osm"]["v3/v2"] > 1.8
+    assert geo["v3/v2"] > 1.2
+
+    # v4/v3: more blocks never hurt much; small graphs stay ~flat.
+    for name, r in rows.items():
+        assert r["v4/v3"] > 0.85, f"v4 regressed badly on {name}"
+    assert rows["euro_osm"]["v4/v3"] >= rows["amazon"]["v4/v3"] - 0.15

@@ -1,0 +1,29 @@
+"""Figure 9 — block-level load balance: random vs two-choice victims.
+
+Paper shape: the load-aware two-choice policy reduces the coefficient of
+variation of tasks/block versus random victim selection (paper: more
+than halved; at simulator scale inter-block steal events are ~100x fewer
+so the statistical advantage is smaller but consistently >= 1 where
+stealing engages — the deviation is recorded in EXPERIMENTS.md).
+"""
+
+from repro.bench import experiments as E
+from repro.utils.stats import geometric_mean
+
+
+def test_fig9_load_balance(benchmark, bench_cfg, archive, quick):
+    repeats = 2 if quick else 3
+    scale = 1 if quick else 2
+    result = benchmark.pedantic(
+        lambda: E.fig9(bench_cfg, repeats=repeats, scale=scale),
+        rounds=1, iterations=1)
+    archive("fig9_load_balance", result.render())
+
+    improvements = [r["improvement"] for r in result.rows
+                    if r["improvement"] != float("inf")]
+    # Two-choice must not be worse on average, and must help somewhere.
+    assert geometric_mean([max(i, 1e-9) for i in improvements]) >= 0.98
+    assert max(improvements) > 1.05
+    # The balanced policy never produces a *more* extreme maximum.
+    for r in result.rows:
+        assert r["diggerbees"].max <= r["baseline"].max * 1.25, r["graph"]

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Evaluating your own graph (paper Appendix A.6: "Customization").
+
+The paper's artifact accepts Matrix Market (`.mtx`) files; so does this
+reproduction.  This example writes a graph out as `.mtx`, reads it back
+(round-trip through the SuiteSparse exchange format), preprocesses it
+the way traversal papers do (symmetrize, take the giant component, sort
+adjacency), and benchmarks every method on it.
+
+Run:  python examples/custom_graph_mtx.py [path/to/your.mtx]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.bench.harness import ALL_METHODS, BenchConfig, run_method
+from repro.graphs import generators as gen
+from repro.graphs.io import read_matrix_market, write_matrix_market
+from repro.graphs.properties import largest_component, profile_graph
+from repro.utils.tables import print_table
+
+
+def load_or_synthesize(argv) -> Path:
+    if len(argv) > 1:
+        return Path(argv[1])
+    # No file given: synthesize one and write it to a temp .mtx, so the
+    # example demonstrates the full import path end to end.
+    g = gen.small_world(3000, k=6, seed=99, name="user_graph")
+    path = Path(tempfile.gettempdir()) / "repro_example_user_graph.mtx"
+    write_matrix_market(g, path)
+    print(f"(no .mtx given; synthesized one at {path})")
+    return path
+
+
+def main() -> None:
+    path = load_or_synthesize(sys.argv)
+    raw = read_matrix_market(path, name=path.stem)
+    print(f"loaded: {raw}")
+
+    # Standard traversal-paper preprocessing.
+    graph = raw.symmetrize() if raw.directed else raw
+    graph, _ = largest_component(graph)
+    graph = graph.with_name(path.stem)
+
+    profile = profile_graph(graph)
+    print(f"preprocessed giant component: |V|={profile.n_vertices} "
+          f"|E|={profile.n_edges}, {profile.bfs_levels_from_0} BFS levels "
+          f"-> '{profile.regime}' regime\n")
+
+    cfg = BenchConfig(sim_scale=0.125, warps_per_block=8, seed=1)
+    rows = []
+    for method in ("Serial-DFS", "CKL-PDFS", "ACR-PDFS", "NVG-DFS",
+                   "DiggerBees", "Gunrock", "BerryBees"):
+        sample = run_method(method, graph, 0, cfg)
+        rows.append([method,
+                     "failed" if sample.failed else f"{sample.mteps:.1f}"])
+    print_table(["method", "MTEPS"], rows,
+                title=f"all methods on '{graph.name}' (simulated)")
+    print("\nTip: deep graphs (many BFS levels) favour DiggerBees; "
+          "shallow ones favour the BFS baselines.")
+
+
+if __name__ == "__main__":
+    main()

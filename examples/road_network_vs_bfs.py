@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The paper's headline scenario: DFS beats BFS on deep, narrow graphs.
+
+Compares DiggerBees against the two GPU BFS baselines (Gunrock-style and
+BerryBees-style) on a deep road network and on a shallow social network,
+reproducing the crossover of paper §4.3: on 'euro_osm'-like graphs BFS
+pays one kernel launch per level (17,346 levels in the paper!) while
+DiggerBees streams deep paths through its two-level stacks; on
+'ljournal'-like graphs BFS finishes in ~4 levels and wins.
+
+Run:  python examples/road_network_vs_bfs.py
+"""
+
+from repro.baselines import run_berrybees_bfs, run_gunrock_bfs
+from repro.bench.harness import BenchConfig
+from repro.core import DiggerBeesConfig, run_diggerbees
+from repro.graphs import generators as gen
+from repro.graphs.properties import num_bfs_levels
+from repro.sim.device import H100
+from repro.utils.tables import print_table
+
+CFG = BenchConfig(sim_scale=0.125, warps_per_block=8, seed=7)
+
+
+def compare(graph, root: int = 0) -> list:
+    db = run_diggerbees(graph, root, config=CFG.diggerbees_config(),
+                        device=H100)
+    gun = run_gunrock_bfs(graph, root, device=H100, sim_scale=CFG.sim_scale)
+    bb = run_berrybees_bfs(graph, root, device=H100, sim_scale=CFG.sim_scale)
+    best_bfs = max(gun.mteps, bb.mteps)
+    return [
+        graph.name,
+        num_bfs_levels(graph, root),
+        f"{db.mteps:.0f}",
+        f"{gun.mteps:.0f}",
+        f"{bb.mteps:.0f}",
+        f"{db.mteps / best_bfs:.2f}x",
+    ]
+
+
+def main() -> None:
+    deep = gen.road_network(9000, seed=7, name="road_9000")
+    mesh = gen.delaunay_mesh(5000, seed=7, name="mesh_5000")
+    shallow = gen.preferential_attachment(5000, m=8, seed=7,
+                                          name="social_5000")
+
+    rows = [compare(g) for g in (deep, mesh, shallow)]
+    print_table(
+        ["graph", "BFS levels", "DiggerBees", "Gunrock", "BerryBees",
+         "DB / best BFS"],
+        rows,
+        title="DFS vs BFS on the simulated H100 (MTEPS)",
+    )
+    print(
+        "\nShape to observe (paper §4.3): the deeper the graph (more BFS\n"
+        "levels), the larger DiggerBees' advantage; on the shallow social\n"
+        "graph the level-parallel BFS wins."
+    )
+
+
+if __name__ == "__main__":
+    main()

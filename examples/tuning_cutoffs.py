@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Tuning the hierarchical-stealing cutoffs (paper §4.7 in miniature).
+
+Sweeps ``hot_cutoff`` (intra-block stealing threshold) and
+``cold_cutoff`` (inter-block) on one deep graph and prints the
+normalized heatmap plus the steal statistics that explain it: small
+cutoffs mean frequent fine-grained steals (contention, victim-side
+slowdown); large cutoffs starve idle warps.
+
+Run:  python examples/tuning_cutoffs.py
+"""
+
+from repro.core import DiggerBeesConfig, run_diggerbees
+from repro.graphs import generators as gen
+from repro.sim.device import H100
+from repro.utils.tables import print_table
+
+HOTS = (4, 16, 64)
+COLDS = (8, 32, 128)
+
+
+def main() -> None:
+    graph = gen.road_network(6000, seed=5)
+    print(f"tuning on {graph}\n")
+
+    results = {}
+    for hot in HOTS:
+        for cold in COLDS:
+            cfg = DiggerBeesConfig(
+                n_blocks=16, warps_per_block=8,
+                hot_cutoff=hot, cold_cutoff=cold, seed=5,
+            )
+            results[(hot, cold)] = run_diggerbees(graph, 0, config=cfg,
+                                                  device=H100)
+
+    base = results[(16, 32)].mteps
+    rows = [
+        [f"hot={hot}"] + [results[(hot, cold)].mteps / base for cold in COLDS]
+        for hot in HOTS
+    ]
+    print_table([r"hot\cold"] + [str(c) for c in COLDS], rows,
+                floatfmt=".2f",
+                title="normalized MTEPS (1.00 = hot 16 / cold 32)")
+
+    print()
+    stat_rows = []
+    for hot in HOTS:
+        for cold in COLDS:
+            c = results[(hot, cold)].counters
+            stat_rows.append([
+                f"({hot},{cold})",
+                c.intra_steal_successes,
+                c.inter_steal_successes,
+                f"{c.intra_steal_fail_rate:.0%}",
+                c.idle_polls,
+            ])
+    print_table(
+        ["(hot,cold)", "intra steals", "inter steals", "intra fail", "idle polls"],
+        stat_rows,
+        title="why: steal traffic per configuration",
+    )
+    print(
+        "\nSmaller cutoffs steal more often (more contention, finer\n"
+        "balance); larger cutoffs leave warps idle-polling. The paper's\n"
+        "defaults (32, 64) sit at the sweet spot at full GPU scale; at\n"
+        "simulator scale the optimum shifts proportionally smaller."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — reproduction of "DiggerBees: DFS Leveraging Hierarchical
+Block-Level Stealing on GPUs" (PPoPP '26) on a simulated GPU.
+
+Quick start::
+
+    from repro import collections, diggerbees, validate_traversal
+
+    g = collections.load("euro_osm")
+    result = diggerbees(g, root=0)
+    report = validate_traversal(g, result.traversal)
+    print(result.mteps, report.tree_valid)
+
+Subpackages
+-----------
+``repro.core``        the paper's contribution (two-level stack, warp DFS,
+                      hierarchical stealing, DiggerBees driver)
+``repro.sim``         GPU/CPU execution simulators and device models
+``repro.graphs``      CSR substrate, generators, corpus, I/O
+``repro.baselines``   CKL-PDFS, ACR-PDFS, NVG-DFS, Gunrock/BerryBees BFS
+``repro.validate``    reference DFS and output validators
+``repro.bench``       benchmark harness regenerating every table/figure
+``repro.apps``        applications on the DFS tree (cycles, toposort, SCC)
+"""
+
+from repro.errors import (
+    BenchmarkError,
+    DeadlockError,
+    GraphConstructionError,
+    GraphFormatError,
+    MemoryLimitExceeded,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.graphs import CSRGraph, from_adjacency, from_edges
+from repro.graphs import collections  # noqa: F401  (re-exported module)
+from repro.validate import TraversalResult, serial_dfs, validate_traversal
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CSRGraph",
+    "from_edges",
+    "from_adjacency",
+    "collections",
+    "TraversalResult",
+    "serial_dfs",
+    "validate_traversal",
+    "diggerbees",
+    "ReproError",
+    "GraphFormatError",
+    "GraphConstructionError",
+    "SimulationError",
+    "DeadlockError",
+    "MemoryLimitExceeded",
+    "ValidationError",
+    "BenchmarkError",
+]
+
+
+def diggerbees(graph, root, **kwargs):
+    """Run DiggerBees on ``graph`` from ``root`` (lazy import of the core).
+
+    See :func:`repro.core.diggerbees.run_diggerbees` for parameters.
+    """
+    from repro.core.diggerbees import run_diggerbees
+
+    return run_diggerbees(graph, root, **kwargs)

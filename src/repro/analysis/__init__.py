@@ -1,0 +1,24 @@
+"""Post-run analyses (load balance, utilization)."""
+
+from repro.analysis.loadbalance import (
+    LoadBalanceReport,
+    analyze_block_balance,
+    balance_improvement,
+)
+from repro.analysis.report import render_run_report, sparkline
+from repro.analysis.utilization import (
+    UtilizationReport,
+    utilization_report,
+    warp_activity_timeline,
+)
+
+__all__ = [
+    "LoadBalanceReport",
+    "analyze_block_balance",
+    "balance_improvement",
+    "UtilizationReport",
+    "utilization_report",
+    "warp_activity_timeline",
+    "render_run_report",
+    "sparkline",
+]

@@ -1,0 +1,72 @@
+"""Block-level load-balance analysis (paper §4.6, Figure 9).
+
+The paper measures the distribution of *tasks per block* (vertices
+expanded by each thread block) and reports min / median / max plus the
+coefficient of variation, comparing the baseline random victim selection
+against DiggerBees' load-aware two-choice policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.trace import SimCounters
+from repro.utils.stats import coefficient_of_variation, summarize
+
+__all__ = ["LoadBalanceReport", "analyze_block_balance", "balance_improvement"]
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Summary of one run's per-block task distribution."""
+
+    tasks: tuple                 # tasks per block, dense
+    min: float
+    median: float
+    max: float
+    variation: float             # coefficient of variation ("Var." in Fig 9)
+    active_blocks: int           # blocks that processed at least one task
+
+    @property
+    def spread(self) -> float:
+        """max / max(min, 1): the visual spread of the Fig 9 violins."""
+        return self.max / max(self.min, 1.0)
+
+
+def analyze_block_balance(counters: SimCounters, n_blocks: int,
+                          *, include_idle: bool = False) -> LoadBalanceReport:
+    """Build a :class:`LoadBalanceReport` from a run's counters.
+
+    ``include_idle=False`` (default) follows the paper's measurement:
+    only blocks that received work enter the distribution — otherwise a
+    small graph on a large grid reports meaningless zeros.
+    """
+    dense = counters.block_task_array(n_blocks)
+    active = [t for t in dense if t > 0]
+    tasks: Sequence[int] = dense if include_idle else (active or [0])
+    arr = np.asarray(tasks, dtype=np.float64)
+    stats = summarize(arr)
+    var = coefficient_of_variation(arr) if arr.sum() > 0 else 0.0
+    return LoadBalanceReport(
+        tasks=tuple(int(t) for t in tasks),
+        min=stats["min"],
+        median=stats["median"],
+        max=stats["max"],
+        variation=var,
+        active_blocks=len(active),
+    )
+
+
+def balance_improvement(baseline: LoadBalanceReport,
+                        diggerbees: LoadBalanceReport) -> float:
+    """Variance-reduction factor (paper: e.g. 3.44x on 'amazon').
+
+    Returns ``baseline.variation / diggerbees.variation``; infinite
+    improvement (perfectly balanced run) is capped for reporting.
+    """
+    if diggerbees.variation <= 0:
+        return float("inf") if baseline.variation > 0 else 1.0
+    return baseline.variation / diggerbees.variation

@@ -1,0 +1,119 @@
+"""Warp/block utilization analysis from run counters and traces.
+
+Complements the Figure 9 load-balance view with the *why* behind the
+performance numbers: how much of the simulated time warps spent doing
+useful expansion versus stealing, moving stacks around, or idling.  Used
+by the ablation benchmarks and handy when tuning cutoffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.diggerbees import DiggerBeesResult
+from repro.sim.device import OpCosts
+
+__all__ = ["UtilizationReport", "utilization_report", "warp_activity_timeline"]
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Approximate cycle budget of one DiggerBees run.
+
+    Cycles are *aggregate across warps* (total warp-cycles consumed per
+    activity, reconstructed from counters and the device cost table) —
+    the same accounting a profiler's per-SM busy counters would give.
+    ``parallelism`` is useful work divided by elapsed time: the average
+    number of warps concurrently doing DFS expansion.
+    """
+
+    expand_cycles: int
+    stack_cycles: int        # flush + refill traffic
+    steal_cycles: int        # both levels, successes + failures
+    idle_cycles: int         # polling
+    elapsed_cycles: int
+    n_warps: int
+
+    @property
+    def total_busy(self) -> int:
+        return self.expand_cycles + self.stack_cycles + self.steal_cycles
+
+    @property
+    def parallelism(self) -> float:
+        """Average concurrently-expanding warps (<= n_warps)."""
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return self.expand_cycles / self.elapsed_cycles
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the grid's warp-cycles spent expanding."""
+        budget = self.elapsed_cycles * self.n_warps
+        return self.expand_cycles / budget if budget else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "expand_cycles": self.expand_cycles,
+            "stack_cycles": self.stack_cycles,
+            "steal_cycles": self.steal_cycles,
+            "idle_cycles": self.idle_cycles,
+            "elapsed_cycles": self.elapsed_cycles,
+            "parallelism": self.parallelism,
+            "utilization": self.utilization,
+        }
+
+
+def utilization_report(result: DiggerBeesResult) -> UtilizationReport:
+    """Reconstruct the cycle budget of a run from its counters."""
+    c = result.counters
+    costs: OpCosts = result.device.costs
+    # Expansion: one visit_base-ish step per edge window; approximate a
+    # window per push plus a window per pop (exhaustion check).
+    steps = c.pushes + c.pops
+    expand = steps * costs.visit_base + c.edges_traversed * costs.visit_per_edge \
+        + c.pushes * (costs.visited_cas + costs.hot_push) + c.pops * costs.hot_pop
+    stack = (c.flushes * costs.flush_base
+             + c.flush_entries * costs.flush_per_entry
+             + c.refills * costs.refill_base
+             + c.refill_entries * costs.refill_per_entry)
+    fails_intra = c.intra_steal_attempts - c.intra_steal_successes
+    fails_inter = c.inter_steal_attempts - c.inter_steal_successes
+    steal = (c.intra_steal_successes * costs.steal_intra_base
+             + c.intra_steal_entries * costs.steal_intra_per_entry
+             + c.inter_steal_successes * costs.steal_inter_base
+             + c.inter_steal_entries * costs.steal_inter_per_entry
+             + (fails_intra + fails_inter) * costs.steal_fail
+             + c.intra_steal_successes * costs.victim_debt_intra
+             + c.inter_steal_successes * costs.victim_debt_inter)
+    # Idle polls average roughly half the backoff ceiling.
+    idle = c.idle_polls * (costs.idle_poll + costs.idle_backoff_max) // 2
+    return UtilizationReport(
+        expand_cycles=int(expand),
+        stack_cycles=int(stack),
+        steal_cycles=int(steal),
+        idle_cycles=int(idle),
+        elapsed_cycles=result.cycles,
+        n_warps=result.config.n_warps,
+    )
+
+
+def warp_activity_timeline(result: DiggerBeesResult,
+                           bucket_cycles: Optional[int] = None) -> Dict[int, int]:
+    """Histogram of *visit* events over time (requires ``trace=True``).
+
+    Returns ``{bucket_start_cycle: visits}``; the ramp-up / drain shape
+    of the traversal.  Raises ``ValueError`` when the run kept no trace.
+    """
+    if result.trace is None:
+        raise ValueError("run with DiggerBeesConfig(trace=True) to get a timeline")
+    visits = result.trace.filter(kind="visit")
+    if not visits:
+        return {}
+    if bucket_cycles is None:
+        bucket_cycles = max(1, result.cycles // 50)
+    hist: Dict[int, int] = {}
+    for ev in visits:
+        bucket = (ev.time // bucket_cycles) * bucket_cycles
+        hist[bucket] = hist.get(bucket, 0) + 1
+    return dict(sorted(hist.items()))

@@ -1,0 +1,25 @@
+"""Applications on DFS trees (the paper's §1 motivations)."""
+
+from repro.apps.biconnectivity import BiconnectivityResult, biconnectivity
+from repro.apps.cycles import find_cycle, has_cycle
+from repro.apps.scc import condensation_edges, strongly_connected_components
+from repro.apps.spanning import SpanningForest, spanning_forest
+from repro.apps.toposort import (
+    CycleFound,
+    topological_sort,
+    verify_topological_order,
+)
+
+__all__ = [
+    "biconnectivity",
+    "BiconnectivityResult",
+    "has_cycle",
+    "find_cycle",
+    "topological_sort",
+    "verify_topological_order",
+    "CycleFound",
+    "strongly_connected_components",
+    "condensation_edges",
+    "spanning_forest",
+    "SpanningForest",
+]

@@ -1,0 +1,92 @@
+"""Cycle detection on top of a (parallel) DFS tree.
+
+One of the paper's motivating applications: "many graph applications
+require only the tree structure (e.g. cycle detection or topological
+sorting)".  For an undirected graph, any non-tree edge within the
+reachable set closes a cycle with tree paths, so a DiggerBees tree (no
+lexicographic order needed) suffices.  ``find_cycle`` reconstructs one
+explicit cycle through tree-path intersection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.csr import CSRGraph
+from repro.validate.reference import TraversalResult
+
+__all__ = ["has_cycle", "find_cycle"]
+
+
+def _tree_path_to_root(parent: np.ndarray, v: int) -> List[int]:
+    path = [v]
+    while parent[path[-1]] >= 0:
+        path.append(int(parent[path[-1]]))
+        if len(path) > parent.shape[0]:
+            raise ValidationError("parent array contains a cycle")
+    return path
+
+
+def _first_non_tree_edge(graph: CSRGraph,
+                         result: TraversalResult) -> Optional[Tuple[int, int]]:
+    parent = result.parent
+    visited = result.visited
+    for u, v in graph.iter_edges():
+        if not graph.directed and u > v:
+            continue
+        if u == v:
+            return (u, v)  # self loop
+        if not (visited[u] and visited[v]):
+            continue
+        if parent[v] == u or parent[u] == v:
+            continue
+        return (u, v)
+    return None
+
+
+def has_cycle(graph: CSRGraph, result: TraversalResult) -> bool:
+    """True iff the reachable subgraph contains a cycle.
+
+    ``result`` is any valid DFS/spanning tree of the reachable set (e.g.
+    a DiggerBees output).  Undirected: a cycle exists iff some edge of
+    the reachable subgraph is not a tree edge.
+    """
+    if graph.directed:
+        raise ValidationError(
+            "has_cycle over a spanning tree is defined for undirected "
+            "graphs; use repro.apps.toposort for directed acyclicity"
+        )
+    return _first_non_tree_edge(graph, result) is not None
+
+
+def find_cycle(graph: CSRGraph, result: TraversalResult) -> Optional[List[int]]:
+    """Return one explicit cycle as a vertex list, or None if acyclic.
+
+    The cycle is formed by a non-tree edge ``(u, v)`` plus the tree paths
+    from ``u`` and ``v`` up to their lowest common ancestor.
+    """
+    if graph.directed:
+        raise ValidationError("find_cycle requires an undirected graph")
+    edge = _first_non_tree_edge(graph, result)
+    if edge is None:
+        return None
+    u, v = edge
+    if u == v:
+        return [u]
+    pu = _tree_path_to_root(result.parent, u)
+    pv = _tree_path_to_root(result.parent, v)
+    # Lowest common ancestor: first shared vertex from the root side.
+    set_u = {x: i for i, x in enumerate(pu)}
+    lca_idx_v = next(i for i, x in enumerate(pv) if x in set_u)
+    lca = pv[lca_idx_v]
+    up = pu[: set_u[lca] + 1]            # u .. lca
+    down = pv[:lca_idx_v][::-1]          # lca-child .. v reversed
+    cycle = up + down
+    # Sanity: consecutive vertices adjacent, ends joined by the non-tree edge.
+    for a, b in zip(cycle, cycle[1:]):
+        if not (result.parent[a] == b or result.parent[b] == a):
+            raise ValidationError("reconstructed cycle uses a phantom edge")
+    return cycle

@@ -1,0 +1,84 @@
+"""Strongly connected components via iterative Tarjan (paper §1: DFS's
+classic "structural analysis" application, Tarjan 1972 [92])."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["strongly_connected_components", "condensation_edges"]
+
+
+def strongly_connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component id per vertex (Tarjan's algorithm, iterative).
+
+    Ids are assigned in reverse topological order of the condensation
+    (Tarjan's natural output order): if there is an arc from component A
+    to component B (A != B), then ``id(A) > id(B)``.
+    """
+    if not graph.directed:
+        raise ValidationError(
+            "SCC requires a directed graph; undirected components live in "
+            "repro.graphs.properties.connected_components"
+        )
+    n = graph.n_vertices
+    rp, ci = graph.row_ptr, graph.column_idx
+    index = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    comp = np.full(n, -1, dtype=np.int64)
+    tarjan_stack: List[int] = []
+    next_index = 0
+    next_comp = 0
+
+    for start in range(n):
+        if index[start] >= 0:
+            continue
+        # Each frame: [vertex, next CSR offset].
+        work = [[start, int(rp[start])]]
+        index[start] = lowlink[start] = next_index
+        next_index += 1
+        tarjan_stack.append(start)
+        on_stack[start] = True
+        while work:
+            top = work[-1]
+            u, i = top
+            if i < rp[u + 1]:
+                v = int(ci[i])
+                top[1] = i + 1
+                if index[v] < 0:
+                    index[v] = lowlink[v] = next_index
+                    next_index += 1
+                    tarjan_stack.append(v)
+                    on_stack[v] = True
+                    work.append([v, int(rp[v])])
+                elif on_stack[v]:
+                    lowlink[u] = min(lowlink[u], index[v])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[u])
+                if lowlink[u] == index[u]:
+                    while True:
+                        w = tarjan_stack.pop()
+                        on_stack[w] = False
+                        comp[w] = next_comp
+                        if w == u:
+                            break
+                    next_comp += 1
+    return comp
+
+
+def condensation_edges(graph: CSRGraph, comp: np.ndarray) -> np.ndarray:
+    """Unique inter-component arcs of the condensation DAG."""
+    edges = graph.edge_array()
+    cu = comp[edges[:, 0]]
+    cv = comp[edges[:, 1]]
+    mask = cu != cv
+    pairs = np.column_stack([cu[mask], cv[mask]])
+    return np.unique(pairs, axis=0) if pairs.size else pairs.reshape(0, 2)

@@ -1,0 +1,29 @@
+"""Baseline traversal implementations (paper Table 1 methods 1-4)."""
+
+from repro.baselines.gpu_bfs import (
+    GpuBfsResult,
+    best_bfs,
+    run_berrybees_bfs,
+    run_gunrock_bfs,
+)
+from repro.baselines.naive_gpu import NaiveGpuResult, run_naive_gpu_dfs
+from repro.baselines.nvg_dfs import NvgResult, nvg_memory_footprint, run_nvg_dfs
+from repro.baselines.pdfs_cpu import CpuDfsResult, run_acr_pdfs, run_ckl_pdfs
+from repro.baselines.serial import SerialDfsResult, run_serial_dfs
+
+__all__ = [
+    "run_serial_dfs",
+    "SerialDfsResult",
+    "run_ckl_pdfs",
+    "run_acr_pdfs",
+    "CpuDfsResult",
+    "run_naive_gpu_dfs",
+    "NaiveGpuResult",
+    "run_nvg_dfs",
+    "NvgResult",
+    "nvg_memory_footprint",
+    "run_gunrock_bfs",
+    "run_berrybees_bfs",
+    "best_bfs",
+    "GpuBfsResult",
+]

@@ -1,0 +1,199 @@
+"""Naive GPU DFS: per-thread stacks, no stealing — the strawman the
+paper's challenges section describes.
+
+Paper §2.3 issue #2: "thread-private stacks cause warp divergence as
+threads follow different execution paths".  This baseline is that naive
+port, made concrete so the cost of ignoring the paper's design can be
+measured:
+
+* every *thread* owns a private stack in local (global) memory;
+* the 32 threads of a warp execute in lockstep over divergent stacks:
+  nothing coalesces, so each active lane replays a serialized dependent
+  access chain (``LANE_SERIALIZATION`` per lane on top of the step's
+  base latency);
+* work spreads only *within* the seeded warp (a push lands on its
+  emptiest lane); there is no stealing, so every other warp idles to
+  termination — the load imbalance of issue #3 with no remedy.
+
+The output is the usual visited+parent pair (still a valid spanning
+tree: the visited CAS is shared), so the same validators apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graphs.csr import CSRGraph
+from repro.sim.device import DeviceSpec, H100
+from repro.sim.engine import EventLoop, StepOutcome
+from repro.sim.metrics import mteps as _mteps
+from repro.sim.trace import SimCounters
+from repro.validate.reference import ROOT_PARENT, UNVISITED_PARENT, TraversalResult
+
+__all__ = ["NaiveGpuResult", "run_naive_gpu_dfs"]
+
+#: Cycles of serialized memory latency per *divergent* active lane: the
+#: lanes address unrelated vertices, so nothing coalesces and the step
+#: replays one dependent access chain per lane (partial overlap keeps it
+#: below a full visit_base each).
+LANE_SERIALIZATION = 120
+
+#: Local-memory (spilled) stack operations pay global latency.
+LOCAL_STACK_OP = 55
+
+
+@dataclass(frozen=True)
+class NaiveGpuResult:
+    """Outcome of the naive per-thread-stack GPU DFS."""
+
+    traversal: TraversalResult
+    cycles: int
+    seconds: float
+    counters: SimCounters
+    device: DeviceSpec
+    n_warps: int
+    method: str = "Naive-GPU-DFS"
+
+    @property
+    def mteps(self) -> float:
+        return _mteps(self.traversal.edges_traversed, self.seconds)
+
+
+class _NaiveState:
+    def __init__(self, graph: CSRGraph, root: int, n_warps: int,
+                 device: DeviceSpec):
+        graph._check_vertex(root)
+        if n_warps < 1:
+            raise SimulationError(f"n_warps must be >= 1, got {n_warps}")
+        self.graph = graph
+        self.device = device
+        self.costs = device.costs
+        n = graph.n_vertices
+        self.visited = np.zeros(n, dtype=np.uint8)
+        self.parent = np.full(n, UNVISITED_PARENT, dtype=np.int64)
+        self.pending = 0
+        self.counters = SimCounters()
+        # 32 thread stacks per warp; work seeded on the root's thread only
+        # (a single-source traversal cannot be statically partitioned —
+        # exactly why the naive port starves).
+        self.stacks: List[List[List[list]]] = [
+            [[] for _ in range(32)] for _ in range(n_warps)
+        ]
+        self.visited[root] = 1
+        self.parent[root] = ROOT_PARENT
+        self.counters.vertices_visited += 1
+        self.counters.record_task(0, 0)
+        self.stacks[0][0].append([root, int(graph.row_ptr[root])])
+        self.counters.pushes += 1
+        self.pending = 1
+
+    def is_terminated(self) -> bool:
+        return self.pending == 0
+
+    def try_claim(self, v: int, parent: int) -> bool:
+        self.counters.cas_attempts += 1
+        if self.visited[v]:
+            self.counters.cas_failures += 1
+            return False
+        self.visited[v] = 1
+        self.parent[v] = parent
+        self.counters.vertices_visited += 1
+        return True
+
+
+class _NaiveWarp:
+    """One warp advancing its 32 divergent thread stacks in lockstep.
+
+    Each step: every thread with a non-empty stack performs one serial
+    DFS iteration (Algorithm 1 body, one neighbour).  Lanes share the
+    instruction stream, so the step's cost grows with the count of
+    distinct active lanes (divergence serialization).
+    """
+
+    __slots__ = ("state", "warp_id", "backoff")
+
+    def __init__(self, state: _NaiveState, warp_id: int):
+        self.state = state
+        self.warp_id = warp_id
+        self.backoff = state.costs.idle_poll
+
+    def step(self, now: int) -> StepOutcome:
+        state = self.state
+        if state.is_terminated():
+            return StepOutcome(cost=0, made_progress=False, done=True)
+        costs = state.costs
+        rp, ci = state.graph.row_ptr, state.graph.column_idx
+        threads = state.stacks[self.warp_id]
+        active = [t for t in threads if t]
+        if not active:
+            # No stealing: the warp can only poll until global termination.
+            state.counters.idle_polls += 1
+            cost = self.backoff
+            self.backoff = min(self.backoff * 2, costs.idle_backoff_max)
+            return StepOutcome(cost=cost, made_progress=False)
+
+        self.backoff = costs.idle_poll
+        progressed = False
+        for stack in active:
+            top = stack[-1]
+            u, i = top
+            row_end = int(rp[u + 1])
+            if i >= row_end:
+                stack.pop()
+                state.counters.pops += 1
+                state.pending -= 1
+                continue
+            v = int(ci[i])
+            top[1] = i + 1
+            state.counters.edges_traversed += 1
+            if state.try_claim(v, u):
+                state.counters.record_task(self.warp_id, 0)
+                # Spread new work to this warp's emptiest thread — the
+                # only (intra-warp) balancing a naive port gets for free.
+                target = min(threads, key=len)
+                target.append([v, int(rp[v])])
+                state.counters.pushes += 1
+                state.pending += 1
+                progressed = True
+        # Lockstep cost: one base latency, then each divergent lane
+        # replays a serialized access chain plus local-memory stack
+        # traffic.  Contrast with DiggerBees, where the 32 lanes scan one
+        # vertex's neighbours in a single coalesced transaction.
+        cost = (costs.visit_base
+                + (LANE_SERIALIZATION + LOCAL_STACK_OP) * len(active))
+        return StepOutcome(cost=cost, made_progress=True)
+
+
+def run_naive_gpu_dfs(
+    graph: CSRGraph,
+    root: int,
+    *,
+    n_warps: int = 32,
+    device: DeviceSpec = H100,
+) -> NaiveGpuResult:
+    """Run the naive per-thread-stack GPU DFS (no stealing)."""
+    state = _NaiveState(graph, root, n_warps, device)
+    agents = [_NaiveWarp(state, w) for w in range(n_warps)]
+    engine = EventLoop(agents, is_terminated=state.is_terminated).run()
+    if state.pending != 0:
+        raise SimulationError(f"naive GPU DFS left {state.pending} pending")
+    traversal = TraversalResult(
+        root=root,
+        visited=state.visited.astype(bool),
+        parent=state.parent,
+        order=np.empty(0, dtype=np.int64),
+        edges_traversed=state.counters.edges_traversed,
+    )
+    seconds = device.cycles_to_seconds(engine.cycles)
+    return NaiveGpuResult(
+        traversal=traversal,
+        cycles=engine.cycles,
+        seconds=seconds,
+        counters=state.counters,
+        device=device,
+        n_warps=n_warps,
+    )

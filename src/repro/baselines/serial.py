@@ -1,0 +1,60 @@
+"""Serial DFS baseline with a single-core CPU timing model.
+
+Wraps the reference :func:`repro.validate.reference.serial_dfs` with the
+CPU cost table so it can appear in performance comparisons (and as the
+denominator for parallel-efficiency sanity checks in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.csr import CSRGraph
+from repro.sim.device import CpuSpec, XEON_MAX_9462
+from repro.sim.metrics import mteps as _mteps
+from repro.validate.reference import TraversalResult, serial_dfs
+
+__all__ = ["SerialDfsResult", "run_serial_dfs"]
+
+
+@dataclass(frozen=True)
+class SerialDfsResult:
+    """Serial DFS output with modelled single-core timing."""
+
+    traversal: TraversalResult
+    cycles: int
+    seconds: float
+    device: CpuSpec
+    method: str = "Serial-DFS"
+
+    @property
+    def mteps(self) -> float:
+        return _mteps(self.traversal.edges_traversed, self.seconds)
+
+
+def run_serial_dfs(graph: CSRGraph, root: int, *,
+                   device: CpuSpec = XEON_MAX_9462) -> SerialDfsResult:
+    """Serial stack-based DFS (Algorithm 1) with one-core timing.
+
+    Per-edge cost: one dependent visited probe plus amortized stack
+    traffic (the same constants the parallel CPU baselines pay, without
+    any stealing overhead — serial DFS is perfectly work-efficient).
+    """
+    result = serial_dfs(graph, root)
+    costs = device.costs
+    # One row-open miss per visited vertex, one line cost per 4 scanned
+    # neighbours, plus stack traffic — the same model as the parallel CPU
+    # baselines minus all stealing overhead.
+    lines = -(-result.edges_traversed // costs.line_width)
+    cycles = (
+        result.n_visited * (costs.row_open + costs.push + costs.pop)
+        + lines * costs.visit_per_line
+        + result.edges_traversed * 2  # visited-flag probe (no CAS needed)
+    )
+    seconds = device.cycles_to_seconds(cycles)
+    return SerialDfsResult(
+        traversal=result,
+        cycles=int(cycles),
+        seconds=seconds,
+        device=device,
+    )

@@ -1,0 +1,27 @@
+"""Benchmark harness and experiments regenerating every table/figure."""
+
+from repro.bench.harness import (
+    ALL_METHODS,
+    BFS_METHODS,
+    BenchConfig,
+    DFS_METHODS,
+    MethodSummary,
+    geomean_speedup,
+    pick_roots,
+    run_graph,
+    run_method,
+    summarize_method,
+)
+
+__all__ = [
+    "BenchConfig",
+    "DFS_METHODS",
+    "BFS_METHODS",
+    "ALL_METHODS",
+    "run_method",
+    "run_graph",
+    "MethodSummary",
+    "summarize_method",
+    "geomean_speedup",
+    "pick_roots",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` — regenerate paper tables/figures."""
+
+from repro.bench.cli import main
+
+raise SystemExit(main())

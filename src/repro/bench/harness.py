@@ -1,0 +1,253 @@
+"""Benchmark harness: method dispatch, multi-root runs, aggregation.
+
+Mirrors the paper's §4.1 methodology: every method runs from a set of
+source vertices (the paper uses 64 GAP-style sources; the default here
+is smaller for simulator time) and reports the average MTEPS per
+(method, graph, device).  Failures (NVG-DFS memory exhaustion) are
+recorded as failed samples, exactly as the paper plots them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.gpu_bfs import run_berrybees_bfs, run_gunrock_bfs
+from repro.baselines.naive_gpu import run_naive_gpu_dfs
+from repro.baselines.nvg_dfs import run_nvg_dfs
+from repro.baselines.pdfs_cpu import run_acr_pdfs, run_ckl_pdfs
+from repro.baselines.serial import run_serial_dfs
+from repro.core.config import DiggerBeesConfig
+from repro.core.diggerbees import run_diggerbees
+from repro.errors import BenchmarkError, MemoryLimitExceeded
+from repro.graphs.csr import CSRGraph
+from repro.sim.device import DeviceSpec, H100, XEON_MAX_9462
+from repro.sim.metrics import PerfSample
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.stats import geometric_mean
+
+__all__ = [
+    "BenchConfig",
+    "DFS_METHODS",
+    "BFS_METHODS",
+    "ALL_METHODS",
+    "run_method",
+    "run_graph",
+    "MethodSummary",
+    "summarize_method",
+    "geomean_speedup",
+    "pick_roots",
+]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs shared by every experiment (DESIGN.md §4.3 calibration).
+
+    ``sim_scale`` shrinks both simulated machines proportionally
+    (H100: 132 -> 17 blocks; Xeon: 64 -> 8 cores at the 0.125 default),
+    and ``warps_per_block = 8`` keeps the GPU:CPU worker ratio at the
+    paper's ~16:1.
+    """
+
+    sim_scale: float = 0.125
+    warps_per_block: int = 8
+    n_roots: int = 2
+    seed: int = 7
+    device: DeviceSpec = H100
+    diggerbees_version: int = 4
+    victim_policy: str = "two_choice"
+
+    def with_(self, **kwargs) -> "BenchConfig":
+        return replace(self, **kwargs)
+
+    def diggerbees_config(self, version: Optional[int] = None,
+                          **overrides) -> DiggerBeesConfig:
+        v = version if version is not None else self.diggerbees_version
+        kwargs = dict(
+            warps_per_block=self.warps_per_block,
+            victim_policy=self.victim_policy,
+            seed=self.seed,
+        )
+        kwargs.update(overrides)
+        return DiggerBeesConfig.version(
+            v, self.device, sim_scale=self.sim_scale, **kwargs,
+        )
+
+
+def pick_roots(graph: CSRGraph, cfg: BenchConfig) -> List[int]:
+    """GAP-style deterministic source sampling: prefer vertices with
+    outgoing edges (the GAP suite samples non-isolated vertices)."""
+    rng = make_rng(derive_seed(cfg.seed, "roots", graph.name))
+    deg = graph.degree()
+    candidates = np.flatnonzero(deg > 0)
+    if candidates.size == 0:
+        return [0]
+    k = min(cfg.n_roots, candidates.size)
+    picked = rng.choice(candidates, size=k, replace=False)
+    return [int(v) for v in picked]
+
+
+# ---------------------------------------------------------------------------
+# Method registry.  Each runner: (graph, root, cfg) -> PerfSample.
+# ---------------------------------------------------------------------------
+
+def _sample(method: str, graph: CSRGraph, device_name: str, root: int,
+            edges: int, cycles: int, seconds: float) -> PerfSample:
+    return PerfSample(method=method, graph=graph.name, device=device_name,
+                      root=root, edges_traversed=edges, cycles=cycles,
+                      seconds=seconds)
+
+
+def _run_diggerbees(graph, root, cfg: BenchConfig) -> PerfSample:
+    res = run_diggerbees(graph, root, config=cfg.diggerbees_config(),
+                         device=cfg.device)
+    return _sample("DiggerBees", graph, cfg.device.name, root,
+                   res.traversal.edges_traversed, res.cycles, res.seconds)
+
+
+def _run_ckl(graph, root, cfg: BenchConfig) -> PerfSample:
+    res = run_ckl_pdfs(graph, root, sim_scale=cfg.sim_scale, seed=cfg.seed)
+    return _sample("CKL-PDFS", graph, res.device.name, root,
+                   res.traversal.edges_traversed, res.cycles, res.seconds)
+
+
+def _run_acr(graph, root, cfg: BenchConfig) -> PerfSample:
+    res = run_acr_pdfs(graph, root, sim_scale=cfg.sim_scale, seed=cfg.seed)
+    return _sample("ACR-PDFS", graph, res.device.name, root,
+                   res.traversal.edges_traversed, res.cycles, res.seconds)
+
+
+def _run_nvg(graph, root, cfg: BenchConfig) -> PerfSample:
+    try:
+        res = run_nvg_dfs(graph, root, device=cfg.device,
+                          sim_scale=cfg.sim_scale)
+    except MemoryLimitExceeded as exc:
+        return PerfSample.failure("NVG-DFS", graph.name, cfg.device.name,
+                                  root, str(exc))
+    return _sample("NVG-DFS", graph, cfg.device.name, root,
+                   res.traversal.edges_traversed, res.cycles, res.seconds)
+
+
+def _run_gunrock(graph, root, cfg: BenchConfig) -> PerfSample:
+    res = run_gunrock_bfs(graph, root, device=cfg.device,
+                          sim_scale=cfg.sim_scale)
+    return _sample("Gunrock", graph, cfg.device.name, root,
+                   res.traversal.edges_traversed, res.cycles, res.seconds)
+
+
+def _run_berrybees(graph, root, cfg: BenchConfig) -> PerfSample:
+    res = run_berrybees_bfs(graph, root, device=cfg.device,
+                            sim_scale=cfg.sim_scale)
+    return _sample("BerryBees", graph, cfg.device.name, root,
+                   res.traversal.edges_traversed, res.cycles, res.seconds)
+
+
+def _run_naive_gpu(graph, root, cfg: BenchConfig) -> PerfSample:
+    warps = max(1, int(cfg.device.sm_count * cfg.sim_scale)
+                * cfg.warps_per_block)
+    res = run_naive_gpu_dfs(graph, root, n_warps=warps, device=cfg.device)
+    return _sample("Naive-GPU-DFS", graph, cfg.device.name, root,
+                   res.traversal.edges_traversed, res.cycles, res.seconds)
+
+
+def _run_serial(graph, root, cfg: BenchConfig) -> PerfSample:
+    res = run_serial_dfs(graph, root, device=XEON_MAX_9462)
+    return _sample("Serial-DFS", graph, res.device.name, root,
+                   res.traversal.edges_traversed, res.cycles, res.seconds)
+
+
+DFS_METHODS: Dict[str, Callable] = {
+    "CKL-PDFS": _run_ckl,
+    "ACR-PDFS": _run_acr,
+    "NVG-DFS": _run_nvg,
+    "DiggerBees": _run_diggerbees,
+}
+BFS_METHODS: Dict[str, Callable] = {
+    "Gunrock": _run_gunrock,
+    "BerryBees": _run_berrybees,
+}
+ALL_METHODS: Dict[str, Callable] = {
+    **DFS_METHODS, **BFS_METHODS,
+    "Serial-DFS": _run_serial,
+    "Naive-GPU-DFS": _run_naive_gpu,
+}
+
+
+def run_method(method: str, graph: CSRGraph, root: int,
+               cfg: Optional[BenchConfig] = None) -> PerfSample:
+    """Run one method once; unknown names raise :class:`BenchmarkError`."""
+    cfg = cfg or BenchConfig()
+    if method not in ALL_METHODS:
+        raise BenchmarkError(
+            f"unknown method {method!r}; available: {sorted(ALL_METHODS)}"
+        )
+    return ALL_METHODS[method](graph, root, cfg)
+
+
+def run_graph(methods: Sequence[str], graph: CSRGraph,
+              cfg: Optional[BenchConfig] = None,
+              roots: Optional[Sequence[int]] = None,
+              ) -> Dict[str, List[PerfSample]]:
+    """Run several methods over the same root set on one graph."""
+    cfg = cfg or BenchConfig()
+    roots = list(roots) if roots is not None else pick_roots(graph, cfg)
+    return {
+        m: [run_method(m, graph, r, cfg) for r in roots]
+        for m in methods
+    }
+
+
+# ---------------------------------------------------------------------------
+# Aggregation.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MethodSummary:
+    """Per-(method, graph) aggregate over roots."""
+
+    method: str
+    graph: str
+    mteps: float          # mean over successful roots; 0.0 if all failed
+    n_roots: int
+    n_failed: int
+
+    @property
+    def failed(self) -> bool:
+        return self.n_failed == self.n_roots
+
+
+def summarize_method(samples: Sequence[PerfSample]) -> MethodSummary:
+    """Average a method's root samples (paper: mean over sources)."""
+    if not samples:
+        raise BenchmarkError("cannot summarize an empty sample list")
+    ok = [s for s in samples if not s.failed]
+    mteps = float(np.mean([s.mteps for s in ok])) if ok else 0.0
+    return MethodSummary(
+        method=samples[0].method,
+        graph=samples[0].graph,
+        mteps=mteps,
+        n_roots=len(samples),
+        n_failed=len(samples) - len(ok),
+    )
+
+
+def geomean_speedup(baseline: Sequence[MethodSummary],
+                    candidate: Sequence[MethodSummary]) -> float:
+    """Geometric-mean speedup of candidate over baseline across graphs.
+
+    Pairs by graph name; graphs where either side failed are excluded
+    (the paper's treatment of NVG-DFS failures).
+    """
+    base = {s.graph: s for s in baseline}
+    ratios = []
+    for cand in candidate:
+        b = base.get(cand.graph)
+        if b is None or b.failed or cand.failed or b.mteps <= 0:
+            continue
+        ratios.append(cand.mteps / b.mteps)
+    if not ratios:
+        raise BenchmarkError("no comparable (non-failed) graph pairs")
+    return geometric_mean(ratios)

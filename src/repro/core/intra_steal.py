@@ -1,0 +1,121 @@
+"""Intra-block work stealing (paper §3.4, Algorithm 3, Figure 3a).
+
+The protocol is optimistic and two-phase, exactly as on hardware:
+
+1. **Victim selection** (:func:`select_victim`): the idle thief scans its
+   block's peers, computes each ``hot_rest = (head - tail + hot_size) %
+   hot_size``, and picks the maximum provided it reaches ``hot_cutoff``.
+   The observed ``tail`` is recorded in the returned plan.
+2. **Work reservation + local transfer** (:func:`execute_steal`, a later
+   simulator step): the thief validates the victim's ``tail`` against the
+   observation — the atomicCAS of Algorithm 3 line 15.  If another thief
+   moved the tail in between (Figure 3a's Warp2), the CAS fails and the
+   thief restarts selection.  On success it takes ``hot_cutoff / 2``
+   entries from the victim's tail, fences, copies them into its own
+   HotRing, advances its head, and flips its active-mask bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.state import BlockState, RunState
+from repro.core.twolevel_stack import WarpStack
+
+__all__ = ["IntraStealPlan", "select_victim", "execute_steal"]
+
+
+@dataclass(frozen=True)
+class IntraStealPlan:
+    """Outcome of victim selection: who to rob and what was observed."""
+
+    victim_warp: int
+    observed_tail: int
+    observed_rest: int
+    amount: int
+
+
+def _hot_rest(stack) -> int:
+    """Stealable depth of a peer's fast stack."""
+    if isinstance(stack, WarpStack):
+        return len(stack.hot)
+    return len(stack)  # one-level stack: the whole stack is in global memory
+
+
+def _tail_token(stack) -> int:
+    """The pointer the reservation CAS validates (HotRing tail / seg bottom)."""
+    if isinstance(stack, WarpStack):
+        return stack.hot.tail
+    return stack._seg.bottom
+
+
+def select_victim(state: RunState, block: BlockState,
+                  thief_warp: int) -> Optional[IntraStealPlan]:
+    """Step 1 of Algorithm 3: scan peers, pick max ``hot_rest`` >= cutoff.
+
+    Returns None when no peer qualifies (all below ``hot_cutoff``).
+    """
+    cutoff = state.config.hot_cutoff
+    best_rest = 0
+    best_warp = -1
+    for w in range(block.n_warps):
+        if w == thief_warp:
+            continue
+        rest = _hot_rest(block.stacks[w])
+        if rest > best_rest:
+            best_rest = rest
+            best_warp = w
+    if best_warp < 0 or best_rest < cutoff:
+        return None
+    return IntraStealPlan(
+        victim_warp=best_warp,
+        observed_tail=_tail_token(block.stacks[best_warp]),
+        observed_rest=best_rest,
+        amount=state.config.intra_steal_amount,
+    )
+
+
+def execute_steal(state: RunState, block: BlockState, thief_warp: int,
+                  plan: IntraStealPlan) -> bool:
+    """Steps 2-3 of Algorithm 3: CAS-validate, then transfer locally.
+
+    Returns True on success.  Failure means the victim's tail moved (a
+    competing thief won) or the victim dropped below the cutoff; the
+    caller restarts selection, mirroring Figure 3a.
+    """
+    counters = state.counters
+    counters.intra_steal_attempts += 1
+    victim_stack = block.stacks[plan.victim_warp]
+
+    # atomicCAS(tail, observed, observed + amount): in the simulator the
+    # validation and the take are one atomic step, so "token unchanged and
+    # still enough work" is exactly CAS success.
+    if _tail_token(victim_stack) != plan.observed_tail:
+        counters.cas_failures += 1
+        return False
+    counters.cas_attempts += 1
+    if _hot_rest(victim_stack) < state.config.hot_cutoff:
+        counters.cas_failures += 1
+        return False
+
+    amount = min(plan.amount, _hot_rest(victim_stack))
+    if isinstance(victim_stack, WarpStack):
+        verts, offs = victim_stack.hot.take_from_tail(amount)
+    else:
+        verts, offs = victim_stack.take_from_tail(amount)
+
+    # threadfence_block() then local copy into the thief's own stack.
+    thief_stack = block.stacks[thief_warp]
+    if isinstance(thief_stack, WarpStack):
+        thief_stack.hot.put_batch(verts, offs)
+    else:
+        thief_stack.put_batch(verts, offs)
+
+    block.set_active(thief_warp, True)
+    # Victim-side contention: its tail cache line was invalidated and its
+    # next operations serialize behind the CAS.
+    block.contention_debt[plan.victim_warp] += state.costs.victim_debt_intra
+    counters.intra_steal_successes += 1
+    counters.intra_steal_entries += amount
+    return True

@@ -1,0 +1,213 @@
+"""Shared run state for a DiggerBees simulation.
+
+One :class:`RunState` instance holds everything the grid's warps share:
+the graph, the global ``visited``/``parent`` arrays, the per-block shared
+state (HotRings, 32-bit active masks), the global pending-entry counter
+used for termination, and the counters/trace sinks.
+
+Because the event engine executes steps atomically, mutations here give
+exact GPU atomic semantics (a CAS winner's update is visible to every
+later step).  The optimistic two-phase steal protocol (observe, then
+CAS-validate on a later step) is what re-introduces realistic races.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import DiggerBeesConfig
+from repro.core.twolevel_stack import OneLevelStack, WarpStack
+from repro.errors import SimulationError
+from repro.graphs.csr import CSRGraph
+from repro.sim.device import DeviceSpec
+from repro.sim.trace import SimCounters, TraceLog
+from repro.utils.rng import make_rng, spawn
+from repro.validate.reference import ROOT_PARENT, UNVISITED_PARENT
+
+__all__ = ["BlockState", "RunState"]
+
+
+class BlockState:
+    """Per-thread-block shared state: the warps' stacks and the active mask."""
+
+    __slots__ = ("block_id", "stacks", "active_mask", "n_warps",
+                 "contention_debt", "gpu_id")
+
+    def __init__(self, block_id: int, n_warps: int, gpu_id: int = 0):
+        self.block_id = block_id
+        self.gpu_id = gpu_id
+        self.n_warps = n_warps
+        self.stacks: List = []
+        self.active_mask = 0  # bit w set <=> warp w active (paper §3.4)
+        #: Cycles of victim-side slowdown accrued by steals against each
+        #: warp (cache-line recovery + atomic serialization); charged to
+        #: the victim's next step and cleared.
+        self.contention_debt = [0] * n_warps
+
+    def set_active(self, warp: int, active: bool) -> None:
+        if active:
+            self.active_mask |= (1 << warp)
+        else:
+            self.active_mask &= ~(1 << warp)
+
+    def is_active(self, warp: int) -> bool:
+        return bool(self.active_mask & (1 << warp))
+
+    @property
+    def idle(self) -> bool:
+        """A block is idle when every warp's bit is clear."""
+        return self.active_mask == 0
+
+    def workload(self) -> int:
+        """Cumulative pending entries in the block (two-choice load signal)."""
+        return sum(len(s) for s in self.stacks)
+
+    def cold_rest(self, warp: int) -> int:
+        """Remaining ColdSeg entries of one warp (inter-steal victim metric)."""
+        stack = self.stacks[warp]
+        if isinstance(stack, WarpStack):
+            return len(stack.cold)
+        return 0
+
+    def hot_rest(self, warp: int) -> int:
+        """Remaining HotRing entries of one warp (intra-steal victim metric)."""
+        stack = self.stacks[warp]
+        if isinstance(stack, WarpStack):
+            return len(stack.hot)
+        return len(stack)  # one-level stack: everything is stealable
+
+
+class RunState:
+    """Global state of one DiggerBees run (see module docstring)."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        root: int,
+        config: DiggerBeesConfig,
+        device: DeviceSpec,
+    ):
+        graph._check_vertex(root)
+        config.check_fits_device(device)
+        self.graph = graph
+        self.root = root
+        self.config = config
+        self.device = device
+        self.costs = device.costs
+
+        n = graph.n_vertices
+        self.visited = np.zeros(n, dtype=np.uint8)
+        self.parent = np.full(n, UNVISITED_PARENT, dtype=np.int64)
+
+        #: Total stack entries across every HotRing/ColdSeg.  A vertex is
+        #: pushed exactly once (the visited CAS guards it), entries only
+        #: move between structures, and a pop retires one entry — so
+        #: ``pending == 0`` iff the traversal is complete.
+        self.pending = 0
+
+        self.counters = SimCounters()
+        self.trace: Optional[TraceLog] = TraceLog() if config.trace else None
+
+        rng = make_rng(config.seed)
+        self.block_rngs = spawn(rng, config.n_blocks)
+
+        cold_cap = max(1, n // config.n_warps)  # the paper's nv/nw sizing
+        self.blocks: List[BlockState] = []
+        for b in range(config.n_blocks):
+            block = BlockState(b, config.warps_per_block,
+                               gpu_id=config.gpu_of_block(b))
+            for _ in range(config.warps_per_block):
+                if config.two_level:
+                    block.stacks.append(WarpStack(
+                        hot_size=config.hot_size,
+                        flush_batch=config.flush_batch,
+                        refill_batch=config.refill_batch,
+                        cold_reserve=config.cold_reserve,
+                        configured_cold_capacity=cold_cap,
+                        flush_policy=config.flush_policy,
+                    ))
+                else:
+                    block.stacks.append(OneLevelStack())
+            self.blocks.append(block)
+
+        # Root initialization (paper §3.6: push root into Warp0's HotRing).
+        self.visited[root] = 1
+        self.parent[root] = ROOT_PARENT
+        self.counters.vertices_visited += 1
+        self.counters.record_task(0, 0)
+        root_stack = self.blocks[0].stacks[0]
+        if isinstance(root_stack, WarpStack):
+            root_stack.hot.push(root, int(graph.row_ptr[root]))
+        else:
+            root_stack.push(root, int(graph.row_ptr[root]))
+        self.counters.pushes += 1
+        self.pending = 1
+        self.blocks[0].set_active(0, True)
+
+    # ------------------------------------------------------------------
+    def is_terminated(self) -> bool:
+        """Global termination: no pending entries anywhere."""
+        return self.pending == 0
+
+    def gpu_idle(self, gpu_id: int) -> bool:
+        """True when every block of ``gpu_id`` is idle (multi-GPU ext.)."""
+        bpg = self.config.blocks_per_gpu
+        start = gpu_id * bpg
+        return all(self.blocks[b].idle for b in range(start, start + bpg))
+
+    def gpu_leader_block(self, gpu_id: int) -> int:
+        """The block whose leader warp performs remote steals for a GPU."""
+        return gpu_id * self.config.blocks_per_gpu
+
+    def try_claim_vertex(self, v: int, parent: int) -> bool:
+        """The visited atomicCAS (paper §3.3): claim ``v`` for ``parent``.
+
+        Returns True if this caller won the claim.  Step atomicity makes
+        the operation linearizable; the counters still record the attempt
+        so contention statistics are meaningful.
+        """
+        self.counters.cas_attempts += 1
+        if self.visited[v]:
+            self.counters.cas_failures += 1
+            return False
+        self.visited[v] = 1
+        self.parent[v] = parent
+        self.counters.vertices_visited += 1
+        return True
+
+    def record(self, time: int, block: int, warp: int, kind: str,
+               detail: tuple = ()) -> None:
+        if self.trace is not None:
+            self.trace.record(time, block, warp, kind, detail)
+
+    def total_entries(self) -> int:
+        """Recount entries across all stacks (invariant check for tests)."""
+        return sum(len(s) for blk in self.blocks for s in blk.stacks)
+
+    def check_invariants(self) -> None:
+        """Expensive consistency assertions, used by tests after runs.
+
+        * ``pending`` matches the actual entry count;
+        * every stacked vertex is marked visited (claimed before push);
+        * no vertex appears in two stacks (entries move, never duplicate).
+        """
+        actual = self.total_entries()
+        if actual != self.pending:
+            raise SimulationError(
+                f"pending counter {self.pending} != actual entries {actual}"
+            )
+        seen: set = set()
+        for blk in self.blocks:
+            for stack in blk.stacks:
+                for v, _ in stack.snapshot():
+                    if not self.visited[v]:
+                        raise SimulationError(
+                            f"stacked vertex {v} is not marked visited"
+                        )
+                    if v in seen:
+                        raise SimulationError(
+                            f"vertex {v} appears in more than one stack"
+                        )
+                    seen.add(v)

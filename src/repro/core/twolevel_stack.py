@@ -1,0 +1,387 @@
+"""The two-level stack data structure (paper §3.2).
+
+Each warp owns one :class:`HotRing` (a circular buffer modelling the fast
+shared-memory portion) and one :class:`ColdSeg` (a linear global-memory
+segment).  Entries are ``<vertex | offset>`` pairs, where ``offset`` is an
+absolute index into ``column_idx`` pointing at the next neighbour to
+visit.
+
+Pointer conventions follow the paper exactly (Figure 2):
+
+* HotRing: ``head`` is the next free slot, ``tail`` the oldest entry;
+  empty iff ``head == tail``; full iff ``(head + 1) % hot_size == tail``
+  (one slot sacrificed to disambiguate).  The owner pushes/pops at
+  ``head``; intra-block thieves CAS ``tail`` forward.
+* ColdSeg: ``top`` / ``bottom``; empty iff ``top == bottom``.  The owner
+  flushes to / refills from ``top`` (LIFO, preserving locality);
+  inter-block thieves CAS ``bottom`` forward (FIFO, taking the oldest
+  entries, which root the largest unexplored subtrees).
+
+The ColdSeg here is backed by growable NumPy arrays with in-place
+compaction.  The paper statically sizes each segment at ``nv / nw``; at
+simulator scale a single warp can transiently exceed that before stealing
+spreads the work, so we grow dynamically and *account* the paper's static
+capacity separately (``configured_capacity``) for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError, StackOverflowError
+
+__all__ = ["HotRing", "ColdSeg", "WarpStack", "OneLevelStack"]
+
+_ENTRY_DTYPE = np.int64
+
+
+class HotRing:
+    """Circular <vertex|offset> buffer (shared-memory model).
+
+    All index arithmetic is modulo ``size``; the structure stores at most
+    ``size - 1`` entries.
+    """
+
+    __slots__ = ("size", "vertex", "offset", "head", "tail")
+
+    def __init__(self, size: int):
+        if size < 2:
+            raise SimulationError(f"HotRing size must be >= 2, got {size}")
+        self.size = size
+        self.vertex = np.zeros(size, dtype=_ENTRY_DTYPE)
+        self.offset = np.zeros(size, dtype=_ENTRY_DTYPE)
+        self.head = 0
+        self.tail = 0
+
+    # -- state ----------------------------------------------------------
+    def __len__(self) -> int:
+        """Occupancy: ``(head - tail + size) % size`` — the paper's hot_rest."""
+        return (self.head - self.tail + self.size) % self.size
+
+    @property
+    def is_empty(self) -> bool:
+        return self.head == self.tail
+
+    @property
+    def is_full(self) -> bool:
+        return (self.head + 1) % self.size == self.tail
+
+    @property
+    def free_slots(self) -> int:
+        return self.size - 1 - len(self)
+
+    # -- owner operations (at head) --------------------------------------
+    def push(self, vertex: int, offset: int) -> None:
+        """Fast push (Figure 2c): insert at ``head`` and advance it."""
+        if self.is_full:
+            raise StackOverflowError(
+                f"push into full HotRing (size={self.size}); caller must "
+                f"flush first"
+            )
+        self.vertex[self.head] = vertex
+        self.offset[self.head] = offset
+        self.head = (self.head + 1) % self.size
+
+    def peek(self) -> Tuple[int, int]:
+        """Read the top entry (at ``head - 1``) without removing it."""
+        if self.is_empty:
+            raise SimulationError("peek on empty HotRing")
+        pos = (self.head - 1 + self.size) % self.size
+        return int(self.vertex[pos]), int(self.offset[pos])
+
+    def update_top_offset(self, offset: int) -> None:
+        """Overwrite the top entry's offset (Algorithm 1's updateTop)."""
+        if self.is_empty:
+            raise SimulationError("update_top_offset on empty HotRing")
+        pos = (self.head - 1 + self.size) % self.size
+        self.offset[pos] = offset
+
+    def pop(self) -> Tuple[int, int]:
+        """Fast pop (Figure 2d): retract ``head`` and return the entry."""
+        if self.is_empty:
+            raise SimulationError("pop on empty HotRing")
+        self.head = (self.head - 1 + self.size) % self.size
+        return int(self.vertex[self.head]), int(self.offset[self.head])
+
+    # -- batch extraction -------------------------------------------------
+    def take_from_tail(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Remove the ``count`` oldest entries (advancing ``tail``).
+
+        Used by the owner's *flush* and by intra-block thieves after a
+        successful tail CAS.  Returns (vertices, offsets) oldest-first.
+        """
+        if count < 1 or count > len(self):
+            raise SimulationError(
+                f"take_from_tail({count}) with only {len(self)} entries"
+            )
+        idx = (self.tail + np.arange(count)) % self.size
+        verts = self.vertex[idx].copy()
+        offs = self.offset[idx].copy()
+        self.tail = (self.tail + count) % self.size
+        return verts, offs
+
+    def put_batch(self, verts: np.ndarray, offs: np.ndarray) -> None:
+        """Insert a batch at ``head`` preserving order (oldest first).
+
+        Used for refill and by thieves installing stolen entries; the
+        oldest entry lands deepest (closest to ``tail``).
+        """
+        count = len(verts)
+        if count == 0:
+            return
+        if count > self.free_slots:
+            raise StackOverflowError(
+                f"put_batch({count}) exceeds free space {self.free_slots}"
+            )
+        idx = (self.head + np.arange(count)) % self.size
+        self.vertex[idx] = verts
+        self.offset[idx] = offs
+        self.head = (self.head + count) % self.size
+
+    def snapshot(self) -> List[Tuple[int, int]]:
+        """Entries oldest-first (for tests and invariant checks)."""
+        n = len(self)
+        idx = (self.tail + np.arange(n)) % self.size
+        return list(zip(self.vertex[idx].tolist(), self.offset[idx].tolist()))
+
+
+class ColdSeg:
+    """Linear global-memory segment with ``top``/``bottom`` pointers.
+
+    The live region is ``[bottom, top)``.  ``push_batch`` appends at
+    ``top`` (flush), ``pop_batch`` removes from ``top`` (refill),
+    ``steal_from_bottom`` removes from ``bottom`` (inter-block steal).
+    The backing array grows by doubling and compacts (shifting the live
+    region to offset 0) when the dead prefix dominates.
+    """
+
+    __slots__ = ("vertex", "offset", "top", "bottom", "configured_capacity",
+                 "compactions", "peak_occupancy")
+
+    def __init__(self, reserve: int = 256, configured_capacity: int = 0):
+        if reserve < 1:
+            raise SimulationError(f"ColdSeg reserve must be >= 1, got {reserve}")
+        self.vertex = np.zeros(reserve, dtype=_ENTRY_DTYPE)
+        self.offset = np.zeros(reserve, dtype=_ENTRY_DTYPE)
+        self.top = 0
+        self.bottom = 0
+        #: The paper's static nv/nw sizing, for reporting only.
+        self.configured_capacity = configured_capacity
+        self.compactions = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        """Occupancy: ``top - bottom`` — the paper's cold_rest."""
+        return self.top - self.bottom
+
+    @property
+    def is_empty(self) -> bool:
+        return self.top == self.bottom
+
+    def _ensure_room(self, count: int) -> None:
+        cap = self.vertex.size
+        if self.top + count <= cap:
+            return
+        live = len(self)
+        # Prefer compaction when at least half the array is dead prefix.
+        if self.bottom >= cap // 2 and live + count <= cap:
+            self.vertex[:live] = self.vertex[self.bottom:self.top]
+            self.offset[:live] = self.offset[self.bottom:self.top]
+            self.bottom = 0
+            self.top = live
+            self.compactions += 1
+            return
+        new_cap = cap
+        while self.top + count > new_cap:
+            new_cap *= 2
+        nv = np.zeros(new_cap, dtype=_ENTRY_DTYPE)
+        no = np.zeros(new_cap, dtype=_ENTRY_DTYPE)
+        nv[self.bottom:self.top] = self.vertex[self.bottom:self.top]
+        no[self.bottom:self.top] = self.offset[self.bottom:self.top]
+        self.vertex, self.offset = nv, no
+
+    def push_batch(self, verts: np.ndarray, offs: np.ndarray) -> None:
+        """Flush target (Figure 2e): append oldest-first at ``top``."""
+        count = len(verts)
+        if count == 0:
+            return
+        self._ensure_room(count)
+        self.vertex[self.top:self.top + count] = verts
+        self.offset[self.top:self.top + count] = offs
+        self.top += count
+        self.peak_occupancy = max(self.peak_occupancy, len(self))
+
+    def pop_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Refill source (Figure 2f): remove the ``count`` newest entries.
+
+        Returns them oldest-first so the HotRing's ``put_batch`` restores
+        the original stacking order.
+        """
+        if count < 1 or count > len(self):
+            raise SimulationError(f"pop_batch({count}) with only {len(self)} entries")
+        lo = self.top - count
+        verts = self.vertex[lo:self.top].copy()
+        offs = self.offset[lo:self.top].copy()
+        self.top = lo
+        return verts, offs
+
+    def steal_from_bottom(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Inter-block steal (Figure 3b): remove the ``count`` oldest entries."""
+        if count < 1 or count > len(self):
+            raise SimulationError(
+                f"steal_from_bottom({count}) with only {len(self)} entries"
+            )
+        verts = self.vertex[self.bottom:self.bottom + count].copy()
+        offs = self.offset[self.bottom:self.bottom + count].copy()
+        self.bottom += count
+        return verts, offs
+
+    def snapshot(self) -> List[Tuple[int, int]]:
+        """Entries oldest-first (for tests)."""
+        return list(zip(
+            self.vertex[self.bottom:self.top].tolist(),
+            self.offset[self.bottom:self.top].tolist(),
+        ))
+
+
+class WarpStack:
+    """A warp's complete two-level stack: HotRing + ColdSeg.
+
+    The flush/refill orchestration lives here; step *costs* are charged
+    by the warp agent, which calls these methods and prices them via the
+    device cost table.
+
+    ``flush_policy`` selects which end of the HotRing is flushed:
+
+    * ``"tail"`` (the paper's choice, §3.3): the *oldest* entries move to
+      the ColdSeg, preserving recent entries near the head for traversal
+      locality and staging the big old branches for inter-block stealing.
+    * ``"head"`` (ablation): the newest entries move instead — this keeps
+      ancestors hot but destroys traversal locality (the warp's next pop
+      must immediately refill) and feeds thieves the smallest branches.
+    """
+
+    __slots__ = ("hot", "cold", "flush_batch", "refill_batch", "flush_policy")
+
+    def __init__(self, hot_size: int, flush_batch: int, refill_batch: int,
+                 cold_reserve: int = 256, configured_cold_capacity: int = 0,
+                 flush_policy: str = "tail"):
+        if flush_batch >= hot_size or refill_batch >= hot_size:
+            raise SimulationError(
+                "flush/refill batch must be smaller than hot_size"
+            )
+        if flush_policy not in ("tail", "head"):
+            raise SimulationError(
+                f"flush_policy must be 'tail' or 'head', got {flush_policy!r}"
+            )
+        self.hot = HotRing(hot_size)
+        self.cold = ColdSeg(cold_reserve, configured_cold_capacity)
+        self.flush_batch = flush_batch
+        self.refill_batch = refill_batch
+        self.flush_policy = flush_policy
+
+    def __len__(self) -> int:
+        return len(self.hot) + len(self.cold)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.hot.is_empty and self.cold.is_empty
+
+    def needs_flush(self) -> bool:
+        """True when a push requires flushing first (HotRing full)."""
+        return self.hot.is_full
+
+    def flush(self) -> int:
+        """Move ``flush_batch`` HotRing entries to the ColdSeg.
+
+        Under the default ``"tail"`` policy the oldest entries move
+        (Figure 2e); under the ``"head"`` ablation the newest do.
+        Returns the number of entries moved.
+        """
+        count = min(self.flush_batch, len(self.hot))
+        if count == 0:
+            raise SimulationError("flush on empty HotRing")
+        if self.flush_policy == "tail":
+            verts, offs = self.hot.take_from_tail(count)
+            self.cold.push_batch(verts, offs)
+        else:
+            # Pop the newest entries off the head; re-reverse so the
+            # ColdSeg still stores oldest-first within the batch.
+            pairs = [self.hot.pop() for _ in range(count)]
+            pairs.reverse()
+            verts = np.asarray([p[0] for p in pairs], dtype=_ENTRY_DTYPE)
+            offs = np.asarray([p[1] for p in pairs], dtype=_ENTRY_DTYPE)
+            self.cold.push_batch(verts, offs)
+        return count
+
+    def can_refill(self) -> bool:
+        return self.hot.is_empty and not self.cold.is_empty
+
+    def refill(self) -> int:
+        """Move up to ``refill_batch`` newest ColdSeg entries into the HotRing.
+
+        Returns the number of entries moved (Figure 2f).
+        """
+        if not self.can_refill():
+            raise SimulationError("refill requires empty HotRing and non-empty ColdSeg")
+        count = min(self.refill_batch, len(self.cold), self.hot.free_slots)
+        verts, offs = self.cold.pop_batch(count)
+        self.hot.put_batch(verts, offs)
+        return count
+
+    def snapshot(self) -> List[Tuple[int, int]]:
+        """All entries oldest-first: ColdSeg bottom..top then HotRing tail..head."""
+        return self.cold.snapshot() + self.hot.snapshot()
+
+
+class OneLevelStack:
+    """The v1 ablation: a single unbounded stack in global memory.
+
+    Mechanically identical to a HotRing of unbounded size (owner at the
+    top, thieves at the bottom), but every operation is priced at global
+    latency by the warp agent.  Backed by a ColdSeg reused as a plain
+    growable stack.
+    """
+
+    __slots__ = ("_seg",)
+
+    def __init__(self, reserve: int = 256):
+        self._seg = ColdSeg(reserve)
+
+    def __len__(self) -> int:
+        return len(self._seg)
+
+    @property
+    def is_empty(self) -> bool:
+        return self._seg.is_empty
+
+    def push(self, vertex: int, offset: int) -> None:
+        self._seg.push_batch(np.array([vertex], dtype=_ENTRY_DTYPE),
+                             np.array([offset], dtype=_ENTRY_DTYPE))
+
+    def peek(self) -> Tuple[int, int]:
+        if self.is_empty:
+            raise SimulationError("peek on empty stack")
+        return (int(self._seg.vertex[self._seg.top - 1]),
+                int(self._seg.offset[self._seg.top - 1]))
+
+    def update_top_offset(self, offset: int) -> None:
+        if self.is_empty:
+            raise SimulationError("update_top_offset on empty stack")
+        self._seg.offset[self._seg.top - 1] = offset
+
+    def pop(self) -> Tuple[int, int]:
+        v, o = self._seg.pop_batch(1)
+        return int(v[0]), int(o[0])
+
+    def take_from_tail(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Steal interface: remove the oldest ``count`` entries."""
+        return self._seg.steal_from_bottom(count)
+
+    def put_batch(self, verts: np.ndarray, offs: np.ndarray) -> None:
+        self._seg.push_batch(verts, offs)
+
+    def snapshot(self) -> List[Tuple[int, int]]:
+        return self._seg.snapshot()

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when a graph file or in-memory structure is malformed."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when a generator is given inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """Raised when the execution simulator reaches an inconsistent state.
+
+    This always indicates a bug in an algorithm implementation (e.g. a
+    stack underflow, a lost stack entry, or a vertex visited twice); the
+    simulator is deterministic, so these are reproducible.
+    """
+
+
+class DeadlockError(SimulationError):
+    """Raised when no warp can make progress but work remains pending."""
+
+
+class StackOverflowError(SimulationError):
+    """Raised when a simulated stack exceeds its configured capacity.
+
+    For the two-level stack this should be impossible by construction
+    (``cold_size`` is sized to ``nv / nw`` plus slack); seeing it means the
+    flush/refill logic is broken.
+    """
+
+
+class MemoryLimitExceeded(ReproError):
+    """Raised when an algorithm's simulated footprint exceeds device memory.
+
+    NVG-DFS's path-tracking design is memory hungry; the paper reports it
+    failing on 44/234 graphs.  We model the footprint explicitly and raise
+    this error to reproduce that failure mode.
+    """
+
+    def __init__(self, required_bytes: int, available_bytes: int, detail: str = ""):
+        self.required_bytes = int(required_bytes)
+        self.available_bytes = int(available_bytes)
+        msg = (
+            f"simulated memory footprint {required_bytes / 2**30:.2f} GiB exceeds "
+            f"device capacity {available_bytes / 2**30:.2f} GiB"
+        )
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class ValidationError(ReproError):
+    """Raised when an algorithm output fails a correctness check."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when the benchmark harness is misconfigured."""

@@ -1,0 +1,624 @@
+"""Synthetic graph generators mirroring the paper's evaluation corpus.
+
+The paper evaluates 234 SuiteSparse graphs spanning three structural
+regimes that drive all of its conclusions:
+
+* **deep & narrow** — road networks and meshes (DIMACS10): near-constant
+  degree, diameter in the thousands; BFS needs many levels, DFS paths are
+  long.  Generators: :func:`road_network`, :func:`delaunay_mesh`,
+  :func:`bubble_mesh`, :func:`grid2d`, :func:`random_geometric`.
+* **shallow & wide** — social/web networks (SNAP/LAW): power-law degrees,
+  diameter ~ 10.  Generators: :func:`preferential_attachment`,
+  :func:`rmat`, :func:`web_copy_model`, :func:`small_world`.
+* **intermediate** — citation and co-purchase graphs.  Generators:
+  :func:`citation_graph`, :func:`co_purchase`.
+
+All generators are deterministic under a seed, return symmetric simple
+:class:`~repro.graphs.csr.CSRGraph` instances (matching the traversal
+papers' preprocessing) unless noted, and guarantee connectivity when
+``ensure_connected=True`` by threading a random spanning backbone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graphs.csr import CSRGraph, from_edges
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "binary_tree",
+    "grid2d",
+    "grid3d",
+    "road_network",
+    "delaunay_mesh",
+    "random_geometric",
+    "bubble_mesh",
+    "preferential_attachment",
+    "small_world",
+    "rmat",
+    "web_copy_model",
+    "citation_graph",
+    "co_purchase",
+    "random_spanning_backbone",
+]
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise GraphConstructionError(msg)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic elementary graphs (test fixtures and corner cases)
+# ---------------------------------------------------------------------------
+
+def path_graph(n: int, name: str = "") -> CSRGraph:
+    """Path 0-1-...-(n-1): the deepest possible DFS stack for its size."""
+    _require(n >= 1, f"path_graph needs n >= 1, got {n}")
+    u = np.arange(n - 1, dtype=np.int64)
+    edges = np.column_stack([u, u + 1])
+    both = np.vstack([edges, edges[:, ::-1]]) if n > 1 else edges.reshape(0, 2)
+    return from_edges(n, both, name=name or f"path{n}",
+                      meta={"family": "path", "group": "synthetic"})
+
+
+def cycle_graph(n: int, name: str = "") -> CSRGraph:
+    """Cycle on ``n >= 3`` vertices (one back edge under DFS)."""
+    _require(n >= 3, f"cycle_graph needs n >= 3, got {n}")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    edges = np.column_stack([u, v])
+    both = np.vstack([edges, edges[:, ::-1]])
+    return from_edges(n, both, name=name or f"cycle{n}",
+                      meta={"family": "cycle", "group": "synthetic"})
+
+
+def star_graph(n: int, name: str = "") -> CSRGraph:
+    """Star with hub 0: maximal branching, depth 1 (worst case for DFS parallelism)."""
+    _require(n >= 1, f"star_graph needs n >= 1, got {n}")
+    leaves = np.arange(1, n, dtype=np.int64)
+    hub = np.zeros(n - 1, dtype=np.int64)
+    edges = np.column_stack([hub, leaves])
+    both = np.vstack([edges, edges[:, ::-1]]) if n > 1 else edges.reshape(0, 2)
+    return from_edges(n, both, name=name or f"star{n}",
+                      meta={"family": "star", "group": "synthetic"})
+
+
+def complete_graph(n: int, name: str = "") -> CSRGraph:
+    """Complete graph K_n (dense stress test for visited-CAS contention)."""
+    _require(n >= 1, f"complete_graph needs n >= 1, got {n}")
+    idx = np.arange(n, dtype=np.int64)
+    u, v = np.meshgrid(idx, idx, indexing="ij")
+    mask = u != v
+    edges = np.column_stack([u[mask], v[mask]])
+    return from_edges(n, edges, name=name or f"K{n}",
+                      meta={"family": "complete", "group": "synthetic"})
+
+
+def binary_tree(depth: int, name: str = "") -> CSRGraph:
+    """Complete binary tree of the given depth (ideal work-stealing shape)."""
+    _require(depth >= 0, f"binary_tree needs depth >= 0, got {depth}")
+    n = (1 << (depth + 1)) - 1
+    child = np.arange(1, n, dtype=np.int64)
+    parent = (child - 1) // 2
+    edges = np.column_stack([parent, child])
+    both = np.vstack([edges, edges[:, ::-1]]) if n > 1 else edges.reshape(0, 2)
+    return from_edges(n, both, name=name or f"btree{depth}",
+                      meta={"family": "tree", "group": "synthetic"})
+
+
+# ---------------------------------------------------------------------------
+# Deep & narrow regime (DIMACS10 analogues)
+# ---------------------------------------------------------------------------
+
+def grid2d(rows: int, cols: int, *, diagonal: bool = False, name: str = "") -> CSRGraph:
+    """2-D grid mesh (``rows x cols``), optionally with one diagonal per cell.
+
+    Diameter is ``rows + cols - 2``; the regular-degree, huge-diameter
+    regime of DIMACS10 numerical-simulation meshes.
+    """
+    _require(rows >= 1 and cols >= 1, f"grid2d needs positive dims, got {rows}x{cols}")
+    n = rows * cols
+    ids = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    horiz = np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    vert = np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    parts = [horiz, vert]
+    if diagonal:
+        parts.append(np.column_stack([ids[:-1, :-1].ravel(), ids[1:, 1:].ravel()]))
+    edges = np.vstack(parts) if parts else np.empty((0, 2), dtype=np.int64)
+    both = np.vstack([edges, edges[:, ::-1]]) if edges.size else edges
+    return from_edges(n, both, name=name or f"grid{rows}x{cols}",
+                      meta={"family": "mesh", "group": "dimacs10"})
+
+
+def grid3d(nx: int, ny: int, nz: int, *, name: str = "") -> CSRGraph:
+    """3-D grid mesh (6-neighbour stencil), the 'auto'-style FEM regime.
+
+    DIMACS10's 'auto' is a 3-D finite-element mesh: near-constant degree,
+    diameter ``nx + ny + nz``, locally branched in three directions.
+    """
+    _require(nx >= 1 and ny >= 1 and nz >= 1,
+             f"grid3d needs positive dims, got {nx}x{ny}x{nz}")
+    n = nx * ny * nz
+    ids = np.arange(n, dtype=np.int64).reshape(nx, ny, nz)
+    parts = [
+        np.column_stack([ids[:-1, :, :].ravel(), ids[1:, :, :].ravel()]),
+        np.column_stack([ids[:, :-1, :].ravel(), ids[:, 1:, :].ravel()]),
+        np.column_stack([ids[:, :, :-1].ravel(), ids[:, :, 1:].ravel()]),
+    ]
+    parts = [p for p in parts if p.size]
+    edges = np.vstack(parts) if parts else np.empty((0, 2), dtype=np.int64)
+    both = (np.vstack([edges, edges[:, ::-1]])
+            if edges.size else np.empty((0, 2), dtype=np.int64))
+    return from_edges(n, both, name=name or f"grid{nx}x{ny}x{nz}",
+                      meta={"family": "mesh3d", "group": "dimacs10"})
+
+
+def road_network(
+    n_vertices: int,
+    *,
+    seed: RngLike = None,
+    extra_edge_fraction: float = 0.08,
+    jitter: float = 0.35,
+    name: str = "",
+) -> CSRGraph:
+    """OSM-style road network: sparse, planar-ish, avg degree ~2.2-2.6.
+
+    Construction: place vertices on a jittered square lattice, connect
+    each to a subset of lattice neighbours (roads follow the lattice), and
+    drop a fraction of links to create winding, high-diameter corridors.
+    A random spanning backbone guarantees connectivity.  The result has
+    diameter O(sqrt(n)) with long degree-2 chains — the regime where the
+    paper's DiggerBees beats BFS (e.g. 'euro_osm', 17,346 BFS levels).
+    """
+    _require(n_vertices >= 2, f"road_network needs >= 2 vertices, got {n_vertices}")
+    _require(0.0 <= extra_edge_fraction <= 1.0, "extra_edge_fraction in [0,1]")
+    rng = make_rng(seed)
+    side = max(2, int(math.isqrt(n_vertices)))
+    rows = side
+    cols = (n_vertices + side - 1) // side
+    ids = np.full(rows * cols, -1, dtype=np.int64)
+    ids[:n_vertices] = np.arange(n_vertices)
+    grid = ids.reshape(rows, cols)
+
+    def lattice_pairs() -> np.ndarray:
+        h = np.column_stack([grid[:, :-1].ravel(), grid[:, 1:].ravel()])
+        v = np.column_stack([grid[:-1, :].ravel(), grid[1:, :].ravel()])
+        pairs = np.vstack([h, v])
+        return pairs[(pairs[:, 0] >= 0) & (pairs[:, 1] >= 0)]
+
+    candidates = lattice_pairs()
+    # Keep ~55% of lattice links: creates dead ends and winding corridors.
+    keep = rng.random(candidates.shape[0]) < 0.55
+    kept = candidates[keep]
+    # Long-range "highway" shortcuts, a small fraction, mostly local.
+    n_extra = int(extra_edge_fraction * n_vertices)
+    if n_extra:
+        src = rng.integers(0, n_vertices, size=n_extra)
+        span = np.maximum(1, (rng.exponential(scale=jitter * side, size=n_extra)).astype(np.int64))
+        dst = np.clip(src + span, 0, n_vertices - 1)
+        extra = np.column_stack([src, dst])
+        extra = extra[extra[:, 0] != extra[:, 1]]
+        kept = np.vstack([kept, extra])
+    backbone = random_spanning_backbone(n_vertices, rng, chain_bias=0.9,
+                                        locality_window=max(2, side // 8))
+    edges = np.vstack([kept, backbone])
+    both = np.vstack([edges, edges[:, ::-1]])
+    return from_edges(n_vertices, both, dedupe=True, drop_self_loops=True,
+                      name=name or f"road{n_vertices}",
+                      meta={"family": "road", "group": "dimacs10"})
+
+
+def delaunay_mesh(n_vertices: int, *, seed: RngLike = None, name: str = "") -> CSRGraph:
+    """Delaunay triangulation of uniform random points (DIMACS10 'delaunay_nXX').
+
+    Uses :mod:`scipy.spatial`; average degree ~6, diameter O(sqrt(n)).
+    """
+    _require(n_vertices >= 4, f"delaunay_mesh needs >= 4 points, got {n_vertices}")
+    from scipy.spatial import Delaunay  # local import: scipy is heavy
+
+    rng = make_rng(seed)
+    pts = rng.random((n_vertices, 2))
+    tri = Delaunay(pts)
+    s = tri.simplices
+    edges = np.vstack([s[:, [0, 1]], s[:, [1, 2]], s[:, [2, 0]]]).astype(np.int64)
+    both = np.vstack([edges, edges[:, ::-1]])
+    return from_edges(n_vertices, both, dedupe=True, drop_self_loops=True,
+                      name=name or f"delaunay{n_vertices}",
+                      meta={"family": "mesh", "group": "dimacs10"})
+
+
+def random_geometric(
+    n_vertices: int,
+    *,
+    radius: Optional[float] = None,
+    seed: RngLike = None,
+    name: str = "",
+) -> CSRGraph:
+    """Random geometric graph (DIMACS10 'rgg_nXX'): connect points within radius.
+
+    Default radius scales as ``sqrt(2.2 * ln(n) / (pi * n))``, slightly above
+    the connectivity threshold, producing the dense-local/huge-diameter
+    regime of the paper's 'rgg' graphs.  A spanning backbone guarantees
+    connectivity for the small n used in simulation.
+    """
+    _require(n_vertices >= 2, f"random_geometric needs >= 2 points, got {n_vertices}")
+    from scipy.spatial import cKDTree
+
+    rng = make_rng(seed)
+    if radius is None:
+        radius = math.sqrt(2.2 * math.log(max(n_vertices, 2)) / (math.pi * n_vertices))
+    pts = rng.random((n_vertices, 2))
+    # Sort points along a space-filling sweep so consecutive ids are close
+    # in the plane and backbone chain edges stay geometrically local.
+    order = np.lexsort((pts[:, 1], np.floor(pts[:, 0] * math.sqrt(n_vertices))))
+    pts = pts[order]
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(r=radius, output_type="ndarray").astype(np.int64)
+    backbone = random_spanning_backbone(n_vertices, rng, chain_bias=0.95,
+                                        locality_window=8)
+    edges = np.vstack([pairs, backbone]) if pairs.size else backbone
+    both = np.vstack([edges, edges[:, ::-1]])
+    return from_edges(n_vertices, both, dedupe=True, drop_self_loops=True,
+                      name=name or f"rgg{n_vertices}",
+                      meta={"family": "rgg", "group": "dimacs10"})
+
+
+def bubble_mesh(
+    n_bubbles: int,
+    bubble_size: int,
+    *,
+    seed: RngLike = None,
+    name: str = "",
+) -> CSRGraph:
+    """Elongated thinned mesh with cavities (DIMACS10 'hugebubbles').
+
+    The original graphs are huge planar meshes (degree ~3) around
+    bubble-shaped cavities: locally branched yet globally very deep.  At
+    simulator scale a fully 2-connected mesh "self-drains" (the DFS wave
+    completes ancestors almost immediately, something sheer size prevents
+    at 21M vertices), so we reproduce the regime with a tall, thin,
+    *thinned* jittered lattice: ~50% of lattice links are kept (creating
+    the dead-end stubs and winding corridors that keep old stack entries
+    live), a local backbone guarantees connectivity, and circular
+    cavities are punched out.  Result: degree ~2.5-3, diameter
+    O(n / width), mesh-like branching.
+    """
+    _require(n_bubbles >= 1 and bubble_size >= 4,
+             f"bubble_mesh needs n_bubbles >= 1, bubble_size >= 4, "
+             f"got {n_bubbles}, {bubble_size}")
+    rng = make_rng(seed)
+    n_target = max(16, n_bubbles * bubble_size)
+    # Tall thin lattice: width ~ sqrt(n)/3 so the diameter is ~3x a square's.
+    width = max(6, int(math.isqrt(n_target)) // 2)
+    rows = (n_target + width - 1) // width
+    ids = np.full(rows * width, -1, dtype=np.int64)
+    ids[:n_target] = np.arange(n_target)
+    grid = ids.reshape(rows, width)
+
+    h = np.column_stack([grid[:, :-1].ravel(), grid[:, 1:].ravel()])
+    v = np.column_stack([grid[:-1, :].ravel(), grid[1:, :].ravel()])
+    d = np.column_stack([grid[:-1, :-1].ravel(), grid[1:, 1:].ravel()])
+    lattice = np.vstack([h, v, d])
+    lattice = lattice[(lattice[:, 0] >= 0) & (lattice[:, 1] >= 0)]
+    kept = lattice[rng.random(lattice.shape[0]) < 0.45]
+    # Mid-range shortcuts (cavity rims meeting): these let a depth-first
+    # dive jump ahead, leaving large live regions behind on the stack --
+    # the property that feeds hierarchical stealing.
+    n_extra = max(1, n_target // 16)
+    src = rng.integers(0, n_target, size=n_extra)
+    span = np.maximum(width, rng.exponential(scale=2.5 * width,
+                                             size=n_extra).astype(np.int64))
+    dst = np.clip(src + span, 0, n_target - 1)
+    extra = np.column_stack([src, dst])
+    extra = extra[extra[:, 0] != extra[:, 1]]
+    backbone = random_spanning_backbone(n_target, rng, chain_bias=0.85,
+                                        locality_window=max(2, width))
+    edges = np.vstack([kept, extra, backbone])
+    both = np.vstack([edges, edges[:, ::-1]])
+    base = from_edges(n_target, both, dedupe=True, drop_self_loops=True)
+
+    # Punch circular cavities ("bubbles") covering ~6% of the area.
+    r_hole = max(1, width // 6)
+    n_holes = max(1, int(0.06 * rows * width / (math.pi * r_hole**2)))
+    keep = np.ones(rows * width, dtype=bool)
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(width), indexing="ij")
+    for _ in range(n_holes):
+        hr = int(rng.integers(0, rows))
+        hc = int(rng.integers(0, width))
+        keep &= (((rr - hr) ** 2 + (cc - hc) ** 2) > r_hole**2).ravel()
+    keep_vertices = np.flatnonzero(keep.ravel()[:n_target])
+    sub = base.subgraph(keep_vertices)
+
+    # Cavities may disconnect small pockets; keep the giant component.
+    from repro.graphs.properties import largest_component
+
+    giant, _ = largest_component(sub)
+    return giant.with_name(name or f"bubbles{n_bubbles}x{bubble_size}",
+                           family="bubbles", group="dimacs10")
+
+
+# ---------------------------------------------------------------------------
+# Shallow & wide regime (SNAP / LAW analogues)
+# ---------------------------------------------------------------------------
+
+def preferential_attachment(
+    n_vertices: int,
+    m: int = 4,
+    *,
+    seed: RngLike = None,
+    name: str = "",
+) -> CSRGraph:
+    """Barabasi-Albert power-law graph (SNAP social-network analogue).
+
+    Each new vertex attaches to ``m`` existing vertices chosen
+    proportionally to degree (implemented with the repeated-endpoints
+    urn trick, O(n m)).  Diameter ~ log n / log log n.
+    """
+    _require(m >= 1, f"preferential_attachment needs m >= 1, got {m}")
+    _require(n_vertices > m, f"need n_vertices > m, got {n_vertices} <= {m}")
+    rng = make_rng(seed)
+    # Urn of endpoints: each edge contributes both endpoints, so sampling
+    # uniformly from the urn is degree-proportional sampling.
+    urn = list(range(m + 1)) * 2  # seed clique-ish core
+    edges = [(i, j) for i in range(m + 1) for j in range(i + 1, m + 1)]
+    for v in range(m + 1, n_vertices):
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(urn[int(rng.integers(0, len(urn)))])
+        for t in targets:
+            edges.append((v, t))
+            urn.append(v)
+            urn.append(t)
+    arr = np.asarray(edges, dtype=np.int64)
+    both = np.vstack([arr, arr[:, ::-1]])
+    return from_edges(n_vertices, both, dedupe=True, drop_self_loops=True,
+                      name=name or f"ba{n_vertices}",
+                      meta={"family": "social", "group": "snap"})
+
+
+def small_world(
+    n_vertices: int,
+    k: int = 6,
+    rewire_p: float = 0.05,
+    *,
+    seed: RngLike = None,
+    name: str = "",
+) -> CSRGraph:
+    """Watts-Strogatz small-world graph (clustered, moderate diameter)."""
+    _require(n_vertices >= 3, f"small_world needs >= 3 vertices, got {n_vertices}")
+    _require(2 <= k < n_vertices, f"need 2 <= k < n, got k={k}, n={n_vertices}")
+    _require(0.0 <= rewire_p <= 1.0, "rewire_p in [0,1]")
+    rng = make_rng(seed)
+    half = max(1, k // 2)
+    u = np.repeat(np.arange(n_vertices, dtype=np.int64), half)
+    offs = np.tile(np.arange(1, half + 1, dtype=np.int64), n_vertices)
+    v = (u + offs) % n_vertices
+    rewire = rng.random(u.size) < rewire_p
+    v = v.copy()
+    v[rewire] = rng.integers(0, n_vertices, size=int(rewire.sum()))
+    edges = np.column_stack([u, v])
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    both = np.vstack([edges, edges[:, ::-1]])
+    return from_edges(n_vertices, both, dedupe=True, drop_self_loops=True,
+                      name=name or f"ws{n_vertices}",
+                      meta={"family": "smallworld", "group": "snap"})
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: RngLike = None,
+    name: str = "",
+    symmetrize: bool = True,
+) -> CSRGraph:
+    """R-MAT / Kronecker graph (Graph500 / LAW web-crawl analogue).
+
+    ``2**scale`` vertices, ``edge_factor * 2**scale`` arcs sampled by the
+    classic recursive quadrant procedure, vectorized over all edges at
+    once (one bit per level).  Heavy-tailed degrees, tiny diameter.
+    """
+    _require(scale >= 1, f"rmat needs scale >= 1, got {scale}")
+    _require(edge_factor >= 1, f"rmat needs edge_factor >= 1, got {edge_factor}")
+    d = 1.0 - a - b - c
+    _require(d > -1e-9, f"quadrant probabilities must sum to <= 1, got a+b+c={a+b+c}")
+    rng = make_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        # Quadrants: [a | b; c | d] — bit goes to src (row) and dst (col).
+        src_bit = (r >= a + b).astype(np.int64)
+        dst_bit = ((r >= a) & (r < a + b) | (r >= a + b + c)).astype(np.int64)
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+    edges = np.column_stack([src, dst])
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    if symmetrize:
+        edges = np.vstack([edges, edges[:, ::-1]])
+    return from_edges(n, edges, dedupe=True, drop_self_loops=True,
+                      directed=not symmetrize,
+                      name=name or f"rmat{scale}",
+                      meta={"family": "rmat", "group": "law"})
+
+
+def web_copy_model(
+    n_vertices: int,
+    out_degree: int = 7,
+    copy_p: float = 0.7,
+    *,
+    seed: RngLike = None,
+    name: str = "",
+    symmetrize: bool = True,
+) -> CSRGraph:
+    """Kumar et al. copying model (LAW web-graph analogue).
+
+    Each new page links to ``out_degree`` targets; with probability
+    ``copy_p`` a link copies a link of a random earlier 'prototype' page
+    (producing dense bipartite cores and power-law in-degree), otherwise a
+    uniform random target.
+    """
+    _require(n_vertices > out_degree + 1,
+             f"web_copy_model needs n > out_degree+1, got {n_vertices}")
+    _require(0.0 <= copy_p <= 1.0, "copy_p in [0,1]")
+    rng = make_rng(seed)
+    adj: list = [[] for _ in range(n_vertices)]
+    core = out_degree + 1
+    for i in range(core):
+        adj[i] = [j for j in range(core) if j != i][:out_degree]
+    edges = [(i, j) for i in range(core) for j in adj[i]]
+    for v in range(core, n_vertices):
+        proto = int(rng.integers(0, v))
+        proto_links = adj[proto]
+        links: set = set()
+        for slot in range(out_degree):
+            if proto_links and rng.random() < copy_p:
+                links.add(proto_links[slot % len(proto_links)])
+            else:
+                links.add(int(rng.integers(0, v)))
+        links.discard(v)
+        adj[v] = sorted(links)
+        edges.extend((v, t) for t in adj[v])
+    arr = np.asarray(edges, dtype=np.int64)
+    if symmetrize:
+        arr = np.vstack([arr, arr[:, ::-1]])
+    return from_edges(n_vertices, arr, dedupe=True, drop_self_loops=True,
+                      directed=not symmetrize,
+                      name=name or f"web{n_vertices}",
+                      meta={"family": "web", "group": "law"})
+
+
+# ---------------------------------------------------------------------------
+# Intermediate regime
+# ---------------------------------------------------------------------------
+
+def citation_graph(
+    n_vertices: int,
+    refs_per_paper: int = 8,
+    recency_bias: float = 4.0,
+    *,
+    seed: RngLike = None,
+    name: str = "",
+    symmetrize: bool = True,
+) -> CSRGraph:
+    """Citation network: papers cite earlier papers with recency bias.
+
+    A DAG by construction before symmetrization (useful for NVG-DFS,
+    which is defined on DAGs: pass ``symmetrize=False``).
+    """
+    _require(n_vertices >= 2, f"citation_graph needs >= 2 papers, got {n_vertices}")
+    _require(refs_per_paper >= 1, "refs_per_paper >= 1")
+    rng = make_rng(seed)
+    edges = []
+    for v in range(1, n_vertices):
+        k = min(v, refs_per_paper)
+        # Beta-distributed ages: most references are recent.
+        ages = rng.beta(1.0, recency_bias, size=k)
+        targets = np.unique((v - 1 - (ages * v).astype(np.int64)).clip(0, v - 1))
+        edges.extend((v, int(t)) for t in targets)
+    arr = np.asarray(edges, dtype=np.int64)
+    if symmetrize:
+        arr = np.vstack([arr, arr[:, ::-1]])
+    return from_edges(n_vertices, arr, dedupe=True, drop_self_loops=True,
+                      directed=not symmetrize,
+                      name=name or f"cit{n_vertices}",
+                      meta={"family": "citation", "group": "dimacs10", "dag": not symmetrize})
+
+
+def co_purchase(
+    n_vertices: int,
+    n_groups: Optional[int] = None,
+    inter_p: float = 0.05,
+    *,
+    seed: RngLike = None,
+    name: str = "",
+) -> CSRGraph:
+    """Amazon-style co-purchase graph: small cliques (product groups)
+    loosely connected (SNAP 'amazon0601' analogue: low degree, moderate
+    diameter, strong local clustering)."""
+    _require(n_vertices >= 4, f"co_purchase needs >= 4 items, got {n_vertices}")
+    rng = make_rng(seed)
+    if n_groups is None:
+        n_groups = max(1, n_vertices // 6)
+    # Product groups are contiguous id runs (catalogue order), so intra-
+    # group edges are local and the graph keeps a moderate diameter.
+    cuts = np.sort(rng.choice(np.arange(1, n_vertices), size=min(n_groups - 1, n_vertices - 1),
+                              replace=False)) if n_groups > 1 else np.array([], dtype=np.int64)
+    bounds = np.concatenate([[0], cuts, [n_vertices]])
+    edges_parts = []
+    for gi in range(len(bounds) - 1):
+        members = np.arange(bounds[gi], bounds[gi + 1], dtype=np.int64)
+        if members.size >= 2:
+            ring = np.column_stack([members, np.roll(members, -1)])
+            edges_parts.append(ring)
+            if members.size >= 4:
+                chord = np.column_stack([members[::2], np.roll(members[::2], -1)])
+                edges_parts.append(chord)
+    # Inter-group links are mostly local in group-id space (related product
+    # categories), which keeps the diameter moderate rather than tiny.
+    n_inter = max(1, int(inter_p * n_vertices))
+    src = rng.integers(0, n_vertices, size=n_inter)
+    span = np.maximum(1, rng.exponential(scale=n_vertices / 40, size=n_inter).astype(np.int64))
+    dst = np.clip(src + span, 0, n_vertices - 1)
+    inter = np.column_stack([src, dst])
+    edges_parts.append(inter[inter[:, 0] != inter[:, 1]])
+    edges_parts.append(
+        random_spanning_backbone(n_vertices, rng, chain_bias=0.5,
+                                 locality_window=max(2, n_vertices // 50))
+    )
+    edges = np.vstack(edges_parts)
+    both = np.vstack([edges, edges[:, ::-1]])
+    return from_edges(n_vertices, both, dedupe=True, drop_self_loops=True,
+                      name=name or f"copurchase{n_vertices}",
+                      meta={"family": "copurchase", "group": "snap"})
+
+
+# ---------------------------------------------------------------------------
+# Connectivity backbone
+# ---------------------------------------------------------------------------
+
+def random_spanning_backbone(
+    n_vertices: int,
+    rng: np.random.Generator,
+    *,
+    chain_bias: float = 0.5,
+    locality_window: int = 0,
+) -> np.ndarray:
+    """Random spanning-tree arcs ensuring connectivity of a generated graph.
+
+    Each vertex ``v > 0`` attaches either to ``v - 1`` (probability
+    ``chain_bias``, extending a chain — raises diameter) or to a random
+    earlier vertex.  With ``locality_window > 0`` the random parent is
+    drawn from the last ``locality_window`` vertices only, which preserves
+    high diameter (road-like backbones); with 0 it is uniform over all
+    earlier vertices (creates shortcuts, shallow star-like backbones).
+    Returns ``(n_vertices - 1, 2)`` arcs (forward direction only).
+    """
+    _require(0.0 <= chain_bias <= 1.0, "chain_bias in [0,1]")
+    _require(locality_window >= 0, "locality_window >= 0")
+    if n_vertices <= 1:
+        return np.empty((0, 2), dtype=np.int64)
+    v = np.arange(1, n_vertices, dtype=np.int64)
+    chain = rng.random(n_vertices - 1) < chain_bias
+    if locality_window > 0:
+        offs = 1 + (rng.random(n_vertices - 1) * np.minimum(v, locality_window)).astype(np.int64)
+        random_parent = v - offs
+    else:
+        random_parent = (rng.random(n_vertices - 1) * v).astype(np.int64)
+    parents = np.where(chain, v - 1, random_parent)
+    return np.column_stack([parents, v])

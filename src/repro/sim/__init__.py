@@ -1,0 +1,39 @@
+"""Execution simulators: device models, event engine, counters, metrics."""
+
+from repro.sim.device import (
+    A100,
+    H100,
+    XEON_MAX_9462,
+    CpuOpCosts,
+    CpuSpec,
+    DeviceSpec,
+    OpCosts,
+    get_device,
+    hotring_smem_bytes,
+    required_stack_bytes,
+)
+from repro.sim.engine import Agent, EngineResult, EventLoop, StepOutcome
+from repro.sim.metrics import PerfSample, mteps
+from repro.sim.trace import SimCounters, TraceEvent, TraceLog
+
+__all__ = [
+    "DeviceSpec",
+    "CpuSpec",
+    "OpCosts",
+    "CpuOpCosts",
+    "A100",
+    "H100",
+    "XEON_MAX_9462",
+    "get_device",
+    "hotring_smem_bytes",
+    "required_stack_bytes",
+    "EventLoop",
+    "Agent",
+    "StepOutcome",
+    "EngineResult",
+    "SimCounters",
+    "TraceLog",
+    "TraceEvent",
+    "PerfSample",
+    "mteps",
+]

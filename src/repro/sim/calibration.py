@@ -1,0 +1,113 @@
+"""Calibration report: what the cost tables imply vs the paper's rates.
+
+DESIGN.md §4.3 keeps every tunable constant in ``repro.sim.device``;
+this module derives the *physical* quantities those constants imply
+(per-worker nanoseconds per edge, kernel-launch wall time, streaming
+bandwidth share) and compares them against the anchor points taken from
+the paper's measurements.  `benchmarks/bench_calibration.py` prints the
+table so calibration drift shows up in benchmark logs, not just diffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.device import A100, H100, XEON_MAX_9462, CpuSpec, DeviceSpec
+
+__all__ = ["CalibrationAnchor", "ANCHORS", "derive_anchors", "calibration_table"]
+
+
+@dataclass(frozen=True)
+class CalibrationAnchor:
+    """One physically meaningful derived quantity with its paper target."""
+
+    name: str
+    unit: str
+    derived: float
+    target: float          # anchor implied by the paper's measurements
+    tolerance: float       # acceptable relative deviation
+
+    @property
+    def within_tolerance(self) -> bool:
+        if self.target == 0:
+            return self.derived == 0
+        return abs(self.derived / self.target - 1.0) <= self.tolerance
+
+
+def _gpu_step_ns(device: DeviceSpec, window: int = 3) -> float:
+    """Wall latency of one warp DFS step scanning ``window`` neighbours."""
+    cycles = device.costs.visit_base + device.costs.visit_per_edge * window
+    return cycles / device.clock_hz * 1e9
+
+
+def _cpu_edge_ns(cpu: CpuSpec, row_len: int) -> float:
+    """Per-edge wall latency on a CPU core for rows of ``row_len``."""
+    c = cpu.costs
+    lines = -(-min(row_len, 8) // c.line_width)
+    # One step per 8-neighbour window plus the row-open miss.
+    windows = -(-row_len // 8)
+    cycles = c.row_open + windows * (c.visit_base + c.visit_per_line * lines)
+    return cycles / cpu.clock_hz * 1e9 / row_len
+
+
+def _launch_us(device: DeviceSpec) -> float:
+    return device.costs.kernel_launch / device.clock_hz * 1e6
+
+
+def _stream_gteps(device: DeviceSpec) -> float:
+    """Device-wide BFS streaming rate implied by the cost table."""
+    return (device.costs.bfs_edge_throughput * device.sm_count
+            * device.clock_hz / 1e9)
+
+
+def derive_anchors() -> List[CalibrationAnchor]:
+    """All calibration anchors (see the paper-derived targets inline)."""
+    return [
+        # Paper: DiggerBees euro_osm 2292 MTEPS over ~1056 warps at ~3
+        # consumed edges/step => ~460 ns/edge => ~1.4 us/step at full
+        # utilization; our per-step latency models the dependent-chain
+        # portion only (~0.1-0.2 us), utilization supplies the rest.
+        CalibrationAnchor(
+            "H100 warp DFS step latency", "ns",
+            _gpu_step_ns(H100), 115.0, 0.25),
+        CalibrationAnchor(
+            "A100 warp DFS step latency", "ns",
+            _gpu_step_ns(A100), 125.0, 0.25),
+        # Paper: CKL-PDFS euro_osm 378 MTEPS / 64 cores = 169 ns/edge on
+        # degree-3 rows.
+        CalibrationAnchor(
+            "Xeon per-edge latency (deg-3 rows)", "ns",
+            _cpu_edge_ns(XEON_MAX_9462, 3), 169.0, 0.45),
+        # Paper: CKL-PDFS hollywood 2738 MTEPS / 64 cores = 23 ns/edge on
+        # degree-30 rows (cache-line amortization).
+        CalibrationAnchor(
+            "Xeon per-edge latency (deg-30 rows)", "ns",
+            _cpu_edge_ns(XEON_MAX_9462, 30), 23.0, 0.60),
+        # Level-synchronous launch + sync overhead: ~6 us per level.
+        CalibrationAnchor(
+            "H100 kernel launch + sync", "us", _launch_us(H100), 6.1, 0.15),
+        CalibrationAnchor(
+            "A100 kernel launch + sync", "us", _launch_us(A100), 7.0, 0.15),
+        # Streaming BFS: bandwidth-bound, so the two devices must sit
+        # within ~4% of each other (1.94 vs 2.02 TB/s).
+        CalibrationAnchor(
+            "H100/A100 BFS stream ratio", "x",
+            _stream_gteps(H100) / _stream_gteps(A100), 1.04, 0.05),
+    ]
+
+
+def calibration_table() -> str:
+    """Rendered calibration report."""
+    from repro.utils.tables import format_table
+
+    rows = []
+    for a in derive_anchors():
+        rows.append([a.name, f"{a.derived:.1f} {a.unit}",
+                     f"{a.target:.1f} {a.unit}",
+                     "ok" if a.within_tolerance else "DRIFTED"])
+    return format_table(
+        ["anchor", "derived from cost table", "paper target", "status"],
+        rows, aligns=["l", "r", "r", "l"],
+        title="Calibration — physical quantities implied by repro.sim.device",
+    )

@@ -1,0 +1,277 @@
+"""Device models and operation cost tables (single source of truth).
+
+The simulator prices each algorithmic operation in **cycles** of the
+modelled device.  Two regimes matter (DESIGN.md §4.1):
+
+* DFS warp steps are *latency-bound dependent chains*: each step issues a
+  dependent global-memory access (row_ptr, then column_idx, then the
+  visited flag), so a step costs hundreds of cycles regardless of how few
+  bytes move.  This is what caps per-warp DFS throughput on real GPUs.
+* Level-synchronous BFS kernels are *throughput-bound streaming*: cost =
+  kernel-launch overhead + frontier work divided by device-wide edge
+  throughput.  Launch overhead per level is what makes BFS collapse on
+  deep graphs (euro_osm: 17,346 levels).
+
+All constants live here with their rationale so calibration drift is
+visible in one diff.  Absolute MTEPS are *modelled*, not measured; only
+relative shapes are claimed (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = [
+    "OpCosts",
+    "CpuOpCosts",
+    "DeviceSpec",
+    "CpuSpec",
+    "A100",
+    "H100",
+    "XEON_MAX_9462",
+    "get_device",
+    "GPU_DEVICES",
+]
+
+
+@dataclass(frozen=True)
+class OpCosts:
+    """GPU operation costs in device cycles.
+
+    ``visit_base`` dominates: it models the dependent-load latency chain
+    of one DFS expansion step (read top entry, fetch row_ptr pair, fetch a
+    32-wide slice of column_idx, probe visited[]).  ``visit_per_edge``
+    adds the marginal cost of scanning additional neighbours within the
+    32-wide window (register/SMEM work, nearly free next to the latency).
+    """
+
+    # Warp-level DFS stepping (latency-bound).
+    visit_base: int = 220
+    visit_per_edge: int = 2
+    hot_push: int = 4            # shared-memory circular-buffer insert
+    hot_pop: int = 4
+    visited_cas: int = 40        # atomicCAS on the global visited array
+    cas_retry: int = 30          # extra cost when a CAS loses
+
+    # HotRing <-> ColdSeg movement (bulk async copies; paper §3.3 notes
+    # TMA-driven copies are ~5% faster for refill, reflected below).
+    flush_base: int = 160
+    flush_per_entry: int = 2
+    refill_base: int = 152
+    refill_per_entry: int = 2
+
+    # Work stealing.
+    steal_scan_per_warp: int = 6     # reading a peer's head/tail in SMEM
+    steal_intra_base: int = 260      # CAS + fence + SMEM copy setup,
+    # including the victim-side slowdown of tail contention (charged to
+    # the thief since the victim is not re-priced mid-flight)
+    steal_intra_per_entry: int = 2
+    steal_inter_base: int = 1400     # global probe + CAS + fence + victim-side
+    # global-memory contention
+    steal_inter_per_entry: int = 4   # gmem -> smem copy per entry
+    steal_fail: int = 130            # aborted reservation (lost CAS / below cutoff)
+    victim_debt_intra: int = 260     # victim-side slowdown per intra steal
+    victim_debt_inter: int = 520     # victim-side slowdown per inter steal
+    # Multi-GPU extension: stealing across NVLink costs several times a
+    # same-GPU global steal (protocol hop + remote atomics + PCIe/NVLink
+    # latency), and the remote victim pays more coherence recovery.
+    steal_remote_base: int = 5600
+    steal_remote_per_entry: int = 16
+    victim_debt_remote: int = 1040
+
+    # Idle behaviour: polling with exponential backoff (a real kernel
+    # would spin on an SMEM/global flag; backoff keeps event counts sane).
+    idle_poll: int = 80
+    idle_backoff_max: int = 4096
+
+    # Level-synchronous baseline kernels.  Launch cost includes the
+    # host-side sync + frontier-size readback between levels (~6 us on
+    # real systems), which is what makes BFS collapse at 17k levels.
+    kernel_launch: int = 12000
+    bfs_edge_throughput: float = 0.55  # edges/cycle/SM, streaming regime
+    bfs_bitmap_speedup: float = 1.9  # BerryBees bit-tensor frontier advantage
+    nvg_edge_throughput: float = 0.35  # NVG path updates move more bytes/edge
+
+
+@dataclass(frozen=True)
+class CpuOpCosts:
+    """CPU costs (cycles) for the work-stealing DFS baselines.
+
+    Calibrated to the paper's measured per-core rates at full scale
+    (graphs far exceed LLC): CKL-PDFS sustains ~170 ns/edge on
+    low-degree road networks (dependent DRAM chain per row) but only
+    ~25 ns/edge on high-degree social graphs, where long adjacency rows
+    amortize the row-open miss across many cache-line-resident
+    neighbours.  The model therefore charges ``row_open`` once per
+    vertex (the dependent row_ptr + first-line miss) plus
+    ``visit_per_line`` per 4 scanned neighbours (one cache line of the
+    visited bitmap / column indices).
+    """
+
+    visit_base: int = 120        # per-step instruction + branch overhead
+    row_open: int = 800          # dependent row_ptr + first-neighbour-line miss
+    line_width: int = 4          # neighbours per cached line
+    visit_per_line: int = 60     # additional line of neighbours/visited probes
+    push: int = 4
+    pop: int = 4
+    visited_cas: int = 24
+    cas_retry: int = 16
+    steal_base: int = 320        # remote deque CAS + cache-line transfers
+    steal_per_entry: int = 10
+    steal_fail: int = 90
+    idle_poll: int = 50
+    idle_backoff_max: int = 2048
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A GPU model: SM array + memory capacity + clock + cost table."""
+
+    name: str
+    sm_count: int
+    max_warps_per_block: int
+    shared_mem_per_block: int     # bytes
+    memory_bytes: int
+    clock_hz: float
+    costs: OpCosts = field(default_factory=OpCosts)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert device cycles to wall-clock seconds."""
+        return cycles / self.clock_hz
+
+    def default_blocks(self, sim_scale: float = 1.0) -> int:
+        """Block count for the paper's v4 configuration (one per SM).
+
+        ``sim_scale`` < 1 shrinks the simulated machine proportionally
+        (the simulator traverses scaled-down graphs; shrinking the SM
+        array by the same factor preserves work-per-warp, and the
+        A100:H100 ratio is preserved exactly).
+        """
+        if not (0.0 < sim_scale <= 1.0):
+            raise ValueError(f"sim_scale must be in (0, 1], got {sim_scale}")
+        return max(1, int(round(self.sm_count * sim_scale)))
+
+    def scaled(self, **overrides) -> "DeviceSpec":
+        """Copy with field overrides (for ablations and tests)."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A multicore CPU model for the PDFS baselines."""
+
+    name: str
+    cores: int
+    memory_bytes: int
+    clock_hz: float
+    costs: CpuOpCosts = field(default_factory=CpuOpCosts)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def default_cores(self, sim_scale: float = 1.0) -> int:
+        if not (0.0 < sim_scale <= 1.0):
+            raise ValueError(f"sim_scale must be in (0, 1], got {sim_scale}")
+        return max(1, int(round(self.cores * sim_scale)))
+
+
+# ---------------------------------------------------------------------------
+# Presets (paper Table 1).
+# ---------------------------------------------------------------------------
+
+#: NVIDIA A100 (Ampere) PCIe: 108 SMs, 80 GB, 1.94 TB/s.  Clock = boost.
+#: Cross-generation calibration (paper 4.4): costs are in *cycles of
+#: this device*, so wall-clock-bound quantities get different cycle
+#: counts than on H100.  (1) Memory latency is nearly constant in
+#: nanoseconds across generations (HBM2e vs HBM3 differ ~10%), so
+#: latency-bound DFS steps cost fewer A100 cycles at the lower clock.
+#: (2) Kernel-launch + sync overhead is host-side and roughly constant
+#: in wall time (slightly higher on the PCIe part).  (3) Streaming
+#: throughput is *bandwidth*-bound -- 1.94 vs 2.02 TB/s, only ~4% apart --
+#: so per-SM-per-cycle edge throughput is higher on A100 (fewer SMs
+#: share almost the same bandwidth).  These three facts are what make
+#: DiggerBees (latency+SM-bound) scale ~SM-count across generations
+#: while NVG-DFS/BFS (launch+bandwidth-bound) barely move: the paper
+#: measures 1.33x vs 1.18x.
+A100 = DeviceSpec(
+    name="A100",
+    sm_count=108,
+    max_warps_per_block=32,
+    shared_mem_per_block=164 * 1024,
+    memory_bytes=80 * 2**30,
+    clock_hz=1.41e9,
+    costs=OpCosts(
+        # Latency-bound ops: ~9% more wall latency than H100.
+        visit_base=171,              # 121 ns (H100: 220 cyc = 111 ns)
+        visited_cas=36,
+        flush_base=124,
+        refill_base=124,             # Ampere lacks TMA: refill == flush
+        steal_intra_base=205,
+        steal_inter_base=1100,
+        steal_fail=100,
+        victim_debt_intra=205,
+        victim_debt_inter=410,
+        idle_poll=63,
+        idle_backoff_max=3230,
+        # Host-side launch: ~7.0 us vs H100's ~6.1 us.
+        kernel_launch=9870,
+        # Bandwidth-bound streaming: total edges/s proportional to
+        # 1.94/2.02 TB/s, expressed per-SM-per-cycle.
+        bfs_edge_throughput=0.90,
+        nvg_edge_throughput=0.577,
+    ),
+)
+
+#: NVIDIA H100 (Hopper) SXM5: 132 SMs, 64 GB, 2.02 TB/s, TMA async copies.
+H100 = DeviceSpec(
+    name="H100",
+    sm_count=132,
+    max_warps_per_block=32,
+    shared_mem_per_block=228 * 1024,
+    memory_bytes=64 * 2**30,
+    clock_hz=1.98e9,
+    costs=OpCosts(),
+)
+
+#: Intel Xeon Max 9462: 2 x 32 cores, 2 x 64 GB HBM, 1 TB/s.
+XEON_MAX_9462 = CpuSpec(
+    name="XeonMax9462",
+    cores=64,
+    memory_bytes=128 * 2**30,
+    clock_hz=2.7e9,
+)
+
+GPU_DEVICES: Dict[str, DeviceSpec] = {"A100": A100, "H100": H100}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a GPU preset by name (case-insensitive)."""
+    key = name.upper()
+    if key not in GPU_DEVICES:
+        raise KeyError(f"unknown device {name!r}; available: {sorted(GPU_DEVICES)}")
+    return GPU_DEVICES[key]
+
+
+def stack_entry_bytes() -> int:
+    """Bytes per two-level-stack entry: <vertex|offset> as two int32 words."""
+    return 8
+
+
+def hotring_smem_bytes(hot_size: int, warps_per_block: int) -> int:
+    """Shared-memory footprint of a block's HotRings (+ head/tail + mask).
+
+    Used to check a configuration actually fits the device's shared
+    memory, which is the paper's issue #1.
+    """
+    per_warp = hot_size * stack_entry_bytes() + 2 * 4  # entries + head/tail
+    return warps_per_block * per_warp + 4              # + 32-bit active mask
+
+
+def required_stack_bytes(deepest_path: int) -> int:
+    """Stack bytes a serial DFS would need for a path of given length.
+
+    Motivates the two-level design: road graphs have paths of tens of
+    thousands of vertices, i.e. megabytes of stack vs ~100 KB of SMEM.
+    """
+    return deepest_path * stack_entry_bytes()

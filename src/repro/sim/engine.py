@@ -1,0 +1,145 @@
+"""Deterministic event-driven execution engine.
+
+The engine steps a set of :class:`Agent` objects (warps on the GPU model,
+cores on the CPU model) in global cycle order.  Each ``step`` performs one
+atomic action against shared state and returns its cost in cycles; the
+agent is then re-scheduled at ``now + cost``.  Atomicity at step
+granularity gives exact CAS semantics: the winner's mutation is visible to
+every later step, losers observe the new value.
+
+Determinism: the ready queue is a heap keyed by ``(ready_at, seq)`` where
+``seq`` is a monotonically increasing tie-breaker, so two runs with the
+same seed produce identical schedules.  (FIFO tie-breaking also mirrors
+fair hardware arbitration of simultaneous requests.)
+
+Termination is algorithm-defined via ``is_terminated``; the engine adds a
+deadlock guard (progress must occur within ``deadlock_window`` consecutive
+steps) and a hard ``max_cycles`` safety net.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, Sequence
+
+from repro.errors import DeadlockError, SimulationError
+
+__all__ = ["Agent", "StepOutcome", "EngineResult", "EventLoop"]
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Result of one agent step.
+
+    ``cost`` — cycles consumed (must be >= 1 unless the agent is done).
+    ``made_progress`` — True when the step advanced the global computation
+    (visited a vertex, moved entries, acquired work); used by the deadlock
+    guard, so an algorithm in which *only* failed steal attempts and idle
+    polls occur for a long window is reported as deadlocked.
+    ``done`` — the agent leaves the schedule permanently.
+    """
+
+    cost: int
+    made_progress: bool = True
+    done: bool = False
+
+
+class Agent(Protocol):
+    """Anything the event loop can schedule."""
+
+    def step(self, now: int) -> StepOutcome:  # pragma: no cover - protocol
+        """Perform one atomic action at simulated time ``now``."""
+        ...
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one simulation: elapsed cycles and scheduling stats."""
+
+    cycles: int
+    steps: int
+    agents: int
+
+    def seconds(self, clock_hz: float) -> float:
+        return self.cycles / clock_hz
+
+
+class EventLoop:
+    """Heap-based deterministic scheduler (see module docstring).
+
+    Parameters
+    ----------
+    agents:
+        The agents to schedule; all start ready at time 0.
+    is_terminated:
+        Global predicate checked between steps; when it turns True the
+        loop stops immediately (remaining queued events are abandoned,
+        modelling kernel exit once the done-flag is observed).
+    max_cycles:
+        Hard upper bound on simulated time (safety net against
+        miscalibrated runs); exceeding it raises ``SimulationError``.
+    deadlock_window:
+        If no step reports progress for this many consecutive steps while
+        ``is_terminated`` stays False, raise ``DeadlockError``.  Sized
+        generously relative to the agent count so legitimate idle phases
+        (everyone polling while one warp works) never trip it.
+    """
+
+    def __init__(
+        self,
+        agents: Sequence[Agent],
+        *,
+        is_terminated: Callable[[], bool],
+        max_cycles: int = 50_000_000_000,
+        deadlock_window: Optional[int] = None,
+    ):
+        if not agents:
+            raise SimulationError("event loop needs at least one agent")
+        self._agents = list(agents)
+        self._is_terminated = is_terminated
+        self._max_cycles = int(max_cycles)
+        self._deadlock_window = deadlock_window or max(10_000, 200 * len(agents))
+
+    def run(self) -> EngineResult:
+        """Run to termination; returns elapsed cycles and step count."""
+        heap: List = []
+        for seq, agent in enumerate(self._agents):
+            heapq.heappush(heap, (0, seq, agent))
+        next_seq = len(self._agents)
+        now = 0
+        steps = 0
+        stale = 0
+
+        while heap:
+            if self._is_terminated():
+                break
+            ready_at, _, agent = heapq.heappop(heap)
+            if ready_at > now:
+                now = ready_at
+            if now > self._max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={self._max_cycles} "
+                    f"(steps={steps}); cost model or algorithm is runaway"
+                )
+            outcome = agent.step(now)
+            steps += 1
+            if outcome.made_progress:
+                stale = 0
+            else:
+                stale += 1
+                if stale > self._deadlock_window:
+                    raise DeadlockError(
+                        f"no progress in {stale} consecutive steps at cycle "
+                        f"{now} with work pending"
+                    )
+            if not outcome.done:
+                if outcome.cost < 1:
+                    raise SimulationError(
+                        f"agent {agent!r} returned non-positive cost "
+                        f"{outcome.cost} without finishing"
+                    )
+                heapq.heappush(heap, (now + outcome.cost, next_seq, agent))
+                next_seq += 1
+
+        return EngineResult(cycles=now, steps=steps, agents=len(self._agents))

@@ -1,0 +1,53 @@
+"""Performance metric computation (MTEPS etc.).
+
+The paper reports traversal performance as MTEPS — million traversed
+edges per second — where "traversed edges" counts neighbour inspections
+and the runtime is the simulated kernel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PerfSample", "mteps"]
+
+
+def mteps(edges_traversed: int, seconds: float) -> float:
+    """Million traversed edges per second; raises on non-positive runtime."""
+    if seconds <= 0:
+        raise ValueError(f"runtime must be positive, got {seconds}")
+    if edges_traversed < 0:
+        raise ValueError(f"edge count must be >= 0, got {edges_traversed}")
+    return edges_traversed / seconds / 1e6
+
+
+@dataclass(frozen=True)
+class PerfSample:
+    """One (method, graph, device, root) performance measurement."""
+
+    method: str
+    graph: str
+    device: str
+    root: int
+    edges_traversed: int
+    cycles: int
+    seconds: float
+    failed: bool = False
+    failure_reason: str = ""
+
+    @property
+    def mteps(self) -> float:
+        """MTEPS, or 0.0 for failed runs (the paper plots failures as 0)."""
+        if self.failed or self.seconds <= 0:
+            return 0.0
+        return mteps(self.edges_traversed, self.seconds)
+
+    @staticmethod
+    def failure(method: str, graph: str, device: str, root: int,
+                reason: str) -> "PerfSample":
+        """A failed-run marker (e.g. NVG-DFS memory exhaustion)."""
+        return PerfSample(
+            method=method, graph=graph, device=device, root=root,
+            edges_traversed=0, cycles=0, seconds=0.0,
+            failed=True, failure_reason=reason,
+        )

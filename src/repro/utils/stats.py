@@ -1,0 +1,77 @@
+"""Small statistics helpers shared by the harness and analysis modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; the paper's speedup aggregate.
+
+    Non-positive or non-finite entries are rejected rather than silently
+    dropped — a zero speedup indicates a failed run that the caller must
+    handle explicitly (the paper excludes NVG-DFS failures the same way).
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if not np.all(np.isfinite(arr)) or np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive finite values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Population std / mean — the load-imbalance metric of paper §4.6 (Fig 9).
+
+    Returns 0 for a constant sequence; raises on an empty one or a zero
+    mean (no tasks at all means the measurement itself is broken).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("coefficient of variation of empty sequence")
+    mean = float(arr.mean())
+    if mean == 0.0:
+        raise ValueError("coefficient of variation undefined for zero mean")
+    return float(arr.std() / mean)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values (rate averaging)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("harmonic mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("harmonic mean requires positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Min/median/max/mean/std summary used in load-balance reports."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("summary of empty sequence")
+    return {
+        "min": float(arr.min()),
+        "median": float(np.median(arr)),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+        "count": int(arr.size),
+    }
+
+
+def speedup_series(baseline: Sequence[float], candidate: Sequence[float]) -> np.ndarray:
+    """Element-wise ``candidate / baseline`` speedups.
+
+    Both series are rates (MTEPS), so higher candidate means speedup > 1.
+    Length mismatch is an error; NaN/zero baselines propagate as ``inf``
+    markers the caller filters (a baseline that failed on a graph).
+    """
+    b = np.asarray(baseline, dtype=np.float64)
+    c = np.asarray(candidate, dtype=np.float64)
+    if b.shape != c.shape:
+        raise ValueError(f"series shape mismatch: {b.shape} vs {c.shape}")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return c / b

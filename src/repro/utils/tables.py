@@ -1,0 +1,89 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness regenerates the paper's tables and figure series as
+aligned ASCII tables on stdout (this repository has no plotting
+dependency).  The formatter here is deliberately small: fixed-width
+columns, optional per-column alignment and float formatting, and a
+markdown mode for pasting into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _fmt_cell(value: object, floatfmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = ".2f",
+    aligns: Optional[Sequence[str]] = None,
+    markdown: bool = False,
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Parameters
+    ----------
+    aligns:
+        Per-column ``"l"`` or ``"r"``; defaults to left for the first
+        column and right for the rest (the common name-then-numbers case).
+    markdown:
+        Emit a GitHub-flavoured markdown table instead of box-drawing.
+    """
+    str_rows: List[List[str]] = [[_fmt_cell(v, floatfmt) for v in row] for row in rows]
+    ncol = len(headers)
+    for r in str_rows:
+        if len(r) != ncol:
+            raise ValueError(f"row has {len(r)} cells, expected {ncol}: {r}")
+    if aligns is None:
+        aligns = ["l"] + ["r"] * (ncol - 1)
+    widths = [
+        max(len(str(headers[c])), *(len(r[c]) for r in str_rows)) if str_rows else len(str(headers[c]))
+        for c in range(ncol)
+    ]
+
+    def pad(text: str, width: int, align: str) -> str:
+        return text.rjust(width) if align == "r" else text.ljust(width)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if markdown:
+        widths = [max(w, 3) for w in widths]  # GFM separators need >= 3 dashes
+        lines.append("| " + " | ".join(pad(str(h), w, a) for h, w, a in zip(headers, widths, aligns)) + " |")
+        seps = [("-" * (w - 1) + ":") if a == "r" else ("-" * w) for w, a in zip(widths, aligns)]
+        lines.append("| " + " | ".join(seps) + " |")
+        for r in str_rows:
+            lines.append("| " + " | ".join(pad(c, w, a) for c, w, a in zip(r, widths, aligns)) + " |")
+    else:
+        rule = "+".join("-" * (w + 2) for w in widths)
+        lines.append(rule)
+        lines.append(" | ".join(pad(str(h), w, a) for h, w, a in zip(headers, widths, aligns)))
+        lines.append(rule)
+        for r in str_rows:
+            lines.append(" | ".join(pad(c, w, a) for c, w, a in zip(r, widths, aligns)))
+        lines.append(rule)
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]], **kwargs) -> None:
+    """Format and print a table (see :func:`format_table`)."""
+    print(format_table(headers, rows, **kwargs))
+
+
+def format_kv(pairs: Sequence[tuple], indent: int = 2) -> str:
+    """Render ``(key, value)`` pairs as an aligned two-column block."""
+    if not pairs:
+        return ""
+    width = max(len(str(k)) for k, _ in pairs)
+    pad = " " * indent
+    return "\n".join(f"{pad}{str(k).ljust(width)} : {v}" for k, v in pairs)

@@ -1,0 +1,36 @@
+"""Correctness oracles and output validators (paper Table 2 semantics)."""
+
+from repro.validate.euler import EulerTour, build_euler_tour
+from repro.validate.reference import (
+    ROOT_PARENT,
+    UNVISITED_PARENT,
+    TraversalResult,
+    dfs_discovery_order,
+    reachable_mask,
+    serial_dfs,
+)
+from repro.validate.tree import (
+    ValidationReport,
+    check_lexicographic,
+    check_tree_validity,
+    check_visited_matches_reachable,
+    dfs_property_violations,
+    validate_traversal,
+)
+
+__all__ = [
+    "EulerTour",
+    "build_euler_tour",
+    "TraversalResult",
+    "serial_dfs",
+    "reachable_mask",
+    "dfs_discovery_order",
+    "ROOT_PARENT",
+    "UNVISITED_PARENT",
+    "check_tree_validity",
+    "check_visited_matches_reachable",
+    "dfs_property_violations",
+    "check_lexicographic",
+    "validate_traversal",
+    "ValidationReport",
+]

@@ -1,0 +1,100 @@
+"""Euler-tour intervals and ancestor queries over parent trees.
+
+The strict-DFS validator, the cycle application, and several tests all
+need O(1) ancestor tests over a rooted tree given as a ``parent`` array.
+This module provides the shared machinery: an iterative Euler tour
+computing discovery/finish intervals, with ``u`` an ancestor of ``v``
+iff ``tin[u] <= tin[v] and tout[v] <= tout[u]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["EulerTour", "build_euler_tour"]
+
+
+@dataclass(frozen=True)
+class EulerTour:
+    """Discovery/finish clocks of a rooted tree (Euler-tour intervals)."""
+
+    root: int
+    tin: np.ndarray
+    tout: np.ndarray
+
+    def is_ancestor(self, u: int, v: int) -> bool:
+        """True iff ``u`` is an ancestor of ``v`` (every vertex is its
+        own ancestor)."""
+        if self.tin[u] < 0 or self.tin[v] < 0:
+            raise ValidationError(
+                f"ancestor query on vertex outside the tree ({u}, {v})"
+            )
+        return bool(self.tin[u] <= self.tin[v] and self.tout[v] <= self.tout[u])
+
+    def depth_order(self) -> np.ndarray:
+        """Tree vertices sorted by discovery clock (preorder)."""
+        in_tree = np.flatnonzero(self.tin >= 0)
+        return in_tree[np.argsort(self.tin[in_tree])]
+
+    def in_tree(self, v: int) -> bool:
+        return bool(self.tin[v] >= 0)
+
+
+def build_euler_tour(parent: Sequence[int], root: int,
+                     visited: Sequence[bool]) -> EulerTour:
+    """Build an :class:`EulerTour` from a ``parent`` array.
+
+    ``parent[v] >= 0`` is v's tree parent; ``visited`` selects tree
+    membership; ``parent[root]`` must be negative.  Runs iteratively so
+    road-network-depth trees do not hit the recursion limit.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    visited = np.asarray(visited, dtype=bool)
+    n = parent.shape[0]
+    if not (0 <= root < n):
+        raise ValidationError(f"root {root} out of range [0, {n})")
+    if not visited[root]:
+        raise ValidationError(f"root {root} is not marked visited")
+    if parent[root] >= 0:
+        raise ValidationError(f"parent[root] must be negative, got {parent[root]}")
+
+    children: List[List[int]] = [[] for _ in range(n)]
+    for v in np.flatnonzero(visited):
+        p = int(parent[v])
+        if p >= 0:
+            if not visited[p]:
+                raise ValidationError(f"vertex {v} has unvisited parent {p}")
+            children[p].append(int(v))
+
+    tin = np.full(n, -1, dtype=np.int64)
+    tout = np.full(n, -1, dtype=np.int64)
+    clock = 0
+    stack = [(int(root), False)]
+    while stack:
+        node, done = stack.pop()
+        if done:
+            tout[node] = clock
+            clock += 1
+            continue
+        if tin[node] >= 0:
+            raise ValidationError(
+                f"vertex {node} reached twice: parent array has a cycle"
+            )
+        tin[node] = clock
+        clock += 1
+        stack.append((node, True))
+        for c in reversed(children[node]):
+            stack.append((c, False))
+
+    uncovered = np.flatnonzero(visited & (tin < 0))
+    if uncovered.size:
+        raise ValidationError(
+            f"{uncovered.size} visited vertices unreachable from the root "
+            f"through parent pointers (e.g. {uncovered[:5].tolist()})"
+        )
+    return EulerTour(root=int(root), tin=tin, tout=tout)

@@ -1,0 +1,98 @@
+"""Reference traversals used as correctness oracles.
+
+:func:`serial_dfs` is a direct transcription of the paper's Algorithm 1
+(the serial stack-based DFS over CSR); it defines the lexicographic DFS
+tree when adjacency lists are sorted.  :func:`reachable_mask` gives the
+ground-truth visited set every parallel method must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["TraversalResult", "serial_dfs", "reachable_mask", "dfs_discovery_order"]
+
+
+@dataclass(frozen=True)
+class TraversalResult:
+    """Output of a traversal: the paper's ``visited`` + ``parent`` arrays.
+
+    ``parent[root] == -1``; ``parent[v] == -2`` for unvisited vertices.
+    ``order`` is the discovery order (only meaningful for serial DFS and
+    NVG-DFS; parallel methods leave it empty).
+    """
+
+    root: int
+    visited: np.ndarray          # bool, shape (n,)
+    parent: np.ndarray           # int64, shape (n,)
+    order: np.ndarray            # int64 discovery sequence, possibly empty
+    edges_traversed: int = 0     # neighbour inspections (MTEPS numerator)
+
+    @property
+    def n_visited(self) -> int:
+        return int(np.count_nonzero(self.visited))
+
+
+UNVISITED_PARENT = -2
+ROOT_PARENT = -1
+
+
+def serial_dfs(graph: CSRGraph, root: int) -> TraversalResult:
+    """Algorithm 1 of the paper: serial stack-based DFS over CSR.
+
+    The stack holds ``(node, next_idx)`` pairs; ``next_idx`` is an index
+    into ``column_idx`` (i.e. an absolute CSR offset, as in the paper).
+    With sorted adjacency lists this produces the unique lexicographically
+    ordered DFS tree.
+    """
+    graph._check_vertex(root)
+    n = graph.n_vertices
+    rp, ci = graph.row_ptr, graph.column_idx
+    visited = np.zeros(n, dtype=bool)
+    parent = np.full(n, UNVISITED_PARENT, dtype=np.int64)
+    order = []
+    edges = 0
+
+    visited[root] = True
+    parent[root] = ROOT_PARENT
+    order.append(root)
+    # Stack of [node, next_idx]; lists are cheaper than tuple churn here.
+    stack = [[root, int(rp[root])]]
+    while stack:
+        top = stack[-1]
+        u, i = top
+        if i < rp[u + 1]:
+            v = int(ci[i])
+            top[1] = i + 1
+            edges += 1
+            if not visited[v]:
+                visited[v] = True
+                parent[v] = u
+                order.append(v)
+                stack.append([v, int(rp[v])])
+        else:
+            stack.pop()
+    return TraversalResult(
+        root=root,
+        visited=visited,
+        parent=parent,
+        order=np.asarray(order, dtype=np.int64),
+        edges_traversed=edges,
+    )
+
+
+def reachable_mask(graph: CSRGraph, root: int) -> np.ndarray:
+    """Boolean reachability mask from ``root`` (frontier-vectorized BFS)."""
+    from repro.graphs.properties import bfs_levels
+
+    return bfs_levels(graph, root) >= 0
+
+
+def dfs_discovery_order(parent: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Map vertex id -> discovery rank (or -1), from a traversal's order list."""
+    rank = np.full(parent.shape[0], -1, dtype=np.int64)
+    rank[order] = np.arange(order.size)
+    return rank

@@ -1,0 +1,196 @@
+"""Validators for traversal outputs (paper Table 2 semantics).
+
+Three independent checks, per DESIGN.md §4.2:
+
+1. :func:`check_tree_validity` — the ``parent`` array is a rooted spanning
+   tree of exactly the reachable set, with every tree edge present in the
+   graph.  **Every** parallel DFS run must pass this.
+2. :func:`dfs_property_violations` — the strict DFS ancestor/descendant
+   property for non-tree edges (undirected graphs).  Serial DFS satisfies
+   it exactly; work-stealing parallel DFS may not, and the violation
+   fraction is a reported metric, mirroring the unordered-DFS literature.
+3. :func:`check_lexicographic` — the tree equals the serial lexicographic
+   DFS tree (required only of NVG-DFS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.csr import CSRGraph
+from repro.validate.reference import (
+    ROOT_PARENT,
+    UNVISITED_PARENT,
+    TraversalResult,
+    reachable_mask,
+    serial_dfs,
+)
+
+__all__ = [
+    "check_tree_validity",
+    "check_visited_matches_reachable",
+    "dfs_property_violations",
+    "check_lexicographic",
+    "ValidationReport",
+    "validate_traversal",
+]
+
+
+def check_visited_matches_reachable(graph: CSRGraph, result: TraversalResult) -> None:
+    """Raise unless ``visited`` equals the true reachable set from the root."""
+    truth = reachable_mask(graph, result.root)
+    if not np.array_equal(truth, result.visited.astype(bool)):
+        missing = np.flatnonzero(truth & ~result.visited)
+        extra = np.flatnonzero(~truth & result.visited)
+        raise ValidationError(
+            f"visited set mismatch: {missing.size} reachable-but-unvisited "
+            f"(e.g. {missing[:5].tolist()}), {extra.size} visited-but-unreachable "
+            f"(e.g. {extra[:5].tolist()})"
+        )
+
+
+def check_tree_validity(graph: CSRGraph, result: TraversalResult) -> None:
+    """Raise unless ``parent`` encodes a rooted spanning tree of the visited set.
+
+    Checks, in order: root conventions, parent edges exist in the graph,
+    every visited non-root vertex has a visited parent, and parent
+    pointers are acyclic (each vertex reaches the root).
+    """
+    parent = result.parent
+    visited = result.visited.astype(bool)
+    root = result.root
+    n = graph.n_vertices
+    if parent.shape != (n,):
+        raise ValidationError(f"parent has shape {parent.shape}, expected ({n},)")
+    if not visited[root]:
+        raise ValidationError(f"root {root} not marked visited")
+    if parent[root] != ROOT_PARENT:
+        raise ValidationError(f"parent[root] = {parent[root]}, expected {ROOT_PARENT}")
+
+    unvisited_bad = np.flatnonzero(~visited & (parent != UNVISITED_PARENT))
+    if unvisited_bad.size:
+        raise ValidationError(
+            f"{unvisited_bad.size} unvisited vertices have parents set "
+            f"(e.g. {unvisited_bad[:5].tolist()})"
+        )
+
+    nodes = np.flatnonzero(visited)
+    for v in nodes:
+        if v == root:
+            continue
+        p = int(parent[v])
+        if p < 0:
+            raise ValidationError(f"visited vertex {v} has parent {p}")
+        if not visited[p]:
+            raise ValidationError(f"vertex {v}'s parent {p} is not visited")
+        if not graph.has_edge(p, v):
+            raise ValidationError(f"tree edge ({p} -> {v}) is not a graph edge")
+
+    # Acyclicity: iteratively mark vertices whose parent chain reaches root.
+    ok = np.zeros(n, dtype=bool)
+    ok[root] = True
+    for v in nodes:
+        if ok[v]:
+            continue
+        chain = []
+        cur = int(v)
+        while not ok[cur]:
+            chain.append(cur)
+            cur = int(parent[cur])
+            if cur < 0 or len(chain) > n:
+                raise ValidationError(
+                    f"parent chain from {v} does not reach the root "
+                    f"(cycle or dangling pointer near {chain[-1]})"
+                )
+        ok[chain] = True
+
+
+def dfs_property_violations(graph: CSRGraph, result: TraversalResult) -> float:
+    """Fraction of non-tree edges violating the DFS ancestor/descendant property.
+
+    For an undirected graph, a spanning tree T of the reachable set is a
+    *strict* DFS tree iff every graph edge joins an ancestor/descendant
+    pair in T.  Returns ``violations / non_tree_edges`` (0.0 when there
+    are no non-tree edges).  Serial DFS must return exactly 0.0.
+    """
+    from repro.validate.euler import build_euler_tour
+
+    parent = result.parent
+    visited = result.visited.astype(bool)
+    tour = build_euler_tour(parent, result.root, visited)
+
+    non_tree = 0
+    violations = 0
+    for u, v in graph.iter_edges():
+        if u >= v and not graph.directed:
+            continue  # count undirected edges once
+        if not (visited[u] and visited[v]):
+            continue
+        if parent[v] == u or parent[u] == v:
+            continue  # tree edge
+        non_tree += 1
+        if not (tour.is_ancestor(u, v) or tour.is_ancestor(v, u)):
+            violations += 1
+    return violations / non_tree if non_tree else 0.0
+
+
+def check_lexicographic(graph: CSRGraph, result: TraversalResult) -> None:
+    """Raise unless the tree equals the serial lexicographic DFS tree.
+
+    Requires sorted adjacency lists (the canonical CSR form).  This is the
+    oracle for NVG-DFS, which promises ordered output.
+    """
+    ref = serial_dfs(graph, result.root)
+    if not np.array_equal(ref.parent, result.parent):
+        diff = np.flatnonzero(ref.parent != result.parent)
+        raise ValidationError(
+            f"tree differs from the lexicographic DFS tree at "
+            f"{diff.size} vertices (e.g. vertex {int(diff[0])}: expected parent "
+            f"{int(ref.parent[diff[0]])}, got {int(result.parent[diff[0]])})"
+        )
+    if result.order.size and not np.array_equal(ref.order, result.order):
+        raise ValidationError("discovery order differs from lexicographic DFS order")
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Aggregate validation outcome for one traversal."""
+
+    tree_valid: bool
+    visited_correct: bool
+    dfs_violation_fraction: float
+    lexicographic: Optional[bool]  # None when not checked
+
+    @property
+    def strict_dfs(self) -> bool:
+        return self.tree_valid and self.dfs_violation_fraction == 0.0
+
+
+def validate_traversal(
+    graph: CSRGraph,
+    result: TraversalResult,
+    *,
+    check_lex: bool = False,
+) -> ValidationReport:
+    """Run all applicable checks and return a :class:`ValidationReport`.
+
+    Tree validity and visited-set correctness raise on failure (they are
+    hard requirements); the strict-DFS fraction is informational.
+    """
+    check_tree_validity(graph, result)
+    check_visited_matches_reachable(graph, result)
+    frac = dfs_property_violations(graph, result)
+    lex: Optional[bool] = None
+    if check_lex:
+        check_lexicographic(graph, result)
+        lex = True
+    return ValidationReport(
+        tree_valid=True,
+        visited_correct=True,
+        dfs_violation_fraction=frac,
+        lexicographic=lex,
+    )

@@ -1,0 +1,59 @@
+"""Unit tests for load-balance analysis (Fig 9 machinery)."""
+
+import pytest
+
+from repro.analysis.loadbalance import (
+    LoadBalanceReport,
+    analyze_block_balance,
+    balance_improvement,
+)
+from repro.sim.trace import SimCounters
+
+
+def counters_with(tasks: dict) -> SimCounters:
+    c = SimCounters()
+    for block, n in tasks.items():
+        c.record_task(block, 0, count=n)
+    return c
+
+
+class TestAnalyze:
+    def test_active_only_default(self):
+        c = counters_with({0: 10, 2: 30})
+        rep = analyze_block_balance(c, n_blocks=4)
+        assert rep.tasks == (10, 30)
+        assert rep.active_blocks == 2
+        assert rep.min == 10 and rep.max == 30
+
+    def test_include_idle(self):
+        c = counters_with({0: 10, 2: 30})
+        rep = analyze_block_balance(c, n_blocks=4, include_idle=True)
+        assert rep.tasks == (10, 0, 30, 0)
+        assert rep.min == 0
+
+    def test_variation_zero_for_balanced(self):
+        c = counters_with({0: 5, 1: 5, 2: 5})
+        rep = analyze_block_balance(c, n_blocks=3)
+        assert rep.variation == 0.0
+
+    def test_variation_high_for_skewed(self):
+        balanced = analyze_block_balance(counters_with({0: 10, 1: 10}), 2)
+        skewed = analyze_block_balance(counters_with({0: 1, 1: 19}), 2)
+        assert skewed.variation > balanced.variation
+
+    def test_spread(self):
+        rep = analyze_block_balance(counters_with({0: 2, 1: 20}), 2)
+        assert rep.spread == 10.0
+
+
+class TestImprovement:
+    def make(self, var):
+        return LoadBalanceReport(tasks=(1,), min=1, median=1, max=1,
+                                 variation=var, active_blocks=1)
+
+    def test_ratio(self):
+        assert balance_improvement(self.make(2.4), self.make(0.8)) == pytest.approx(3.0)
+
+    def test_perfect_balance(self):
+        assert balance_improvement(self.make(1.0), self.make(0.0)) == float("inf")
+        assert balance_improvement(self.make(0.0), self.make(0.0)) == 1.0

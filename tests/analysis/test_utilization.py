@@ -1,0 +1,69 @@
+"""Unit tests for the utilization analysis."""
+
+import pytest
+
+from repro.analysis.utilization import (
+    UtilizationReport,
+    utilization_report,
+    warp_activity_timeline,
+)
+from repro.core import DiggerBeesConfig, run_diggerbees
+from repro.graphs import generators as gen
+
+CFG = DiggerBeesConfig(n_blocks=2, warps_per_block=4, hot_size=32,
+                       hot_cutoff=8, cold_cutoff=8, flush_batch=8,
+                       refill_batch=8, cold_reserve=32, seed=2)
+
+
+@pytest.fixture(scope="module")
+def run():
+    g = gen.road_network(1500, seed=2)
+    return run_diggerbees(g, 0, config=CFG.with_overrides(trace=True))
+
+
+class TestUtilizationReport:
+    def test_budget_components_positive(self, run):
+        rep = utilization_report(run)
+        assert rep.expand_cycles > 0
+        assert rep.elapsed_cycles == run.cycles
+        assert rep.total_busy > 0
+
+    def test_parallelism_bounded(self, run):
+        rep = utilization_report(run)
+        assert 0 < rep.parallelism <= rep.n_warps
+
+    def test_utilization_fraction(self, run):
+        rep = utilization_report(run)
+        assert 0.0 < rep.utilization <= 1.0
+
+    def test_as_dict(self, run):
+        d = utilization_report(run).as_dict()
+        assert set(d) >= {"expand_cycles", "steal_cycles", "parallelism"}
+
+    def test_more_warps_lower_utilization(self):
+        """A tiny graph cannot feed a big grid: utilization must drop."""
+        g = gen.road_network(800, seed=3)
+        small = run_diggerbees(g, 0, config=CFG)
+        big = run_diggerbees(g, 0, config=CFG.with_overrides(n_blocks=16))
+        assert (utilization_report(big).utilization
+                < utilization_report(small).utilization)
+
+
+class TestTimeline:
+    def test_histogram_covers_all_visits(self, run):
+        hist = warp_activity_timeline(run)
+        assert sum(hist.values()) == len(run.trace.filter(kind="visit"))
+
+    def test_buckets_sorted(self, run):
+        keys = list(warp_activity_timeline(run).keys())
+        assert keys == sorted(keys)
+
+    def test_requires_trace(self):
+        g = gen.path_graph(50)
+        res = run_diggerbees(g, 0, config=CFG)
+        with pytest.raises(ValueError):
+            warp_activity_timeline(res)
+
+    def test_custom_bucket(self, run):
+        coarse = warp_activity_timeline(run, bucket_cycles=run.cycles)
+        assert len(coarse) <= 2

@@ -1,0 +1,161 @@
+"""Unit tests for the DFS-tree applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cycles import find_cycle, has_cycle
+from repro.apps.scc import condensation_edges, strongly_connected_components
+from repro.apps.spanning import spanning_forest
+from repro.apps.toposort import (
+    CycleFound,
+    topological_sort,
+    verify_topological_order,
+)
+from repro.core import DiggerBeesConfig, run_diggerbees
+from repro.errors import ValidationError
+from repro.graphs import generators as gen
+from repro.graphs.csr import from_edges
+from repro.validate import serial_dfs
+
+CFG = DiggerBeesConfig(n_blocks=2, warps_per_block=2, hot_size=16,
+                       hot_cutoff=4, cold_cutoff=4, flush_batch=4,
+                       refill_batch=4, cold_reserve=16, seed=1)
+
+
+class TestCycles:
+    def test_tree_has_no_cycle(self, tiny_tree):
+        res = serial_dfs(tiny_tree, 0)
+        assert not has_cycle(tiny_tree, res)
+        assert find_cycle(tiny_tree, res) is None
+
+    def test_cycle_graph_detected(self):
+        g = gen.cycle_graph(8)
+        res = serial_dfs(g, 0)
+        assert has_cycle(g, res)
+        cycle = find_cycle(g, res)
+        assert sorted(cycle) == list(range(8))
+
+    def test_cycle_from_parallel_tree(self):
+        """Cycle detection needs only a valid (unordered) DFS tree."""
+        g = gen.delaunay_mesh(300, seed=3)
+        res = run_diggerbees(g, 0, config=CFG)
+        cycle = find_cycle(g, res.traversal)
+        assert cycle is not None and len(cycle) >= 3
+        # Every consecutive pair of the cycle is a real edge.
+        closed = cycle + [cycle[0]]
+        for a, b in zip(closed, closed[1:]):
+            assert g.has_edge(a, b)
+
+    def test_cycle_vertices_distinct(self):
+        g = gen.small_world(200, k=4, seed=2)
+        res = serial_dfs(g, 0)
+        cycle = find_cycle(g, res)
+        assert len(cycle) == len(set(cycle))
+
+    def test_directed_rejected(self, dag_graph):
+        res = serial_dfs(dag_graph, 0)
+        with pytest.raises(ValidationError):
+            has_cycle(dag_graph, res)
+
+
+class TestToposort:
+    def test_dag_sorted(self, dag_graph):
+        order = topological_sort(dag_graph)
+        verify_topological_order(dag_graph, order)
+
+    def test_citation_dag(self):
+        g = gen.citation_graph(400, seed=3, symmetrize=False)
+        # Citation arcs point old <- new; reverse for a forward DAG.
+        order = topological_sort(g)
+        verify_topological_order(g, order)
+
+    def test_cycle_raises_with_witness(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)], directed=True)
+        with pytest.raises(CycleFound) as exc:
+            topological_sort(g)
+        cyc = exc.value.cycle
+        assert cyc[0] == cyc[-1]  # closed walk witness
+        assert len(cyc) >= 3
+
+    def test_undirected_rejected(self, tiny_path):
+        with pytest.raises(ValidationError):
+            topological_sort(tiny_path)
+
+    def test_verify_rejects_bad_order(self, dag_graph):
+        order = topological_sort(dag_graph)
+        with pytest.raises(ValidationError):
+            verify_topological_order(dag_graph, order[::-1])
+        with pytest.raises(ValidationError):
+            verify_topological_order(dag_graph, np.zeros(5, dtype=np.int64))
+
+    def test_disconnected_covered(self):
+        g = from_edges(5, [(0, 1), (3, 4)], directed=True)
+        order = topological_sort(g)
+        assert len(order) == 5
+        verify_topological_order(g, order)
+
+
+class TestScc:
+    def test_single_cycle_is_one_component(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)], directed=True)
+        comp = strongly_connected_components(g)
+        assert len(set(comp)) == 1
+
+    def test_dag_all_singletons(self, dag_graph):
+        comp = strongly_connected_components(dag_graph)
+        assert len(set(comp)) == dag_graph.n_vertices
+
+    def test_two_sccs_with_bridge(self):
+        g = from_edges(6, [(0, 1), (1, 2), (2, 0),      # SCC A
+                           (3, 4), (4, 5), (5, 3),      # SCC B
+                           (2, 3)],                     # bridge A -> B
+                       directed=True)
+        comp = strongly_connected_components(g)
+        assert comp[0] == comp[1] == comp[2]
+        assert comp[3] == comp[4] == comp[5]
+        assert comp[0] != comp[3]
+        # Reverse topological numbering: A -> B implies id(A) > id(B).
+        assert comp[0] > comp[3]
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = gen.rmat(7, edge_factor=4, seed=5, symmetrize=False)
+        comp = strongly_connected_components(g)
+        G = nx.DiGraph(list(g.iter_edges()))
+        G.add_nodes_from(range(g.n_vertices))
+        for scc in nx.strongly_connected_components(G):
+            ids = {comp[v] for v in scc}
+            assert len(ids) == 1
+
+    def test_condensation_is_dag(self):
+        g = gen.rmat(6, edge_factor=4, seed=5, symmetrize=False)
+        comp = strongly_connected_components(g)
+        edges = condensation_edges(g, comp)
+        # No self arcs and reverse-topological ids: u > v for every arc.
+        assert np.all(edges[:, 0] != edges[:, 1])
+        assert np.all(edges[:, 0] > edges[:, 1])
+
+    def test_undirected_rejected(self, tiny_path):
+        with pytest.raises(ValidationError):
+            strongly_connected_components(tiny_path)
+
+
+class TestSpanningForest:
+    def test_connected_graph_one_tree(self, small_road):
+        f = spanning_forest(small_road, config=CFG)
+        assert f.n_components == 1
+        assert f.tree_edges().shape[0] == small_road.n_vertices - 1
+
+    def test_disconnected_graph(self, disconnected_graph):
+        f = spanning_forest(disconnected_graph, config=CFG)
+        assert f.n_components == 3
+        assert set(f.component) == {0, 1, 2}
+
+    def test_forest_edges_exist(self, disconnected_graph):
+        f = spanning_forest(disconnected_graph, config=CFG)
+        for p, c in f.tree_edges():
+            assert disconnected_graph.has_edge(int(p), int(c))
+
+    def test_directed_rejected(self, dag_graph):
+        with pytest.raises(ValidationError):
+            spanning_forest(dag_graph, config=CFG)

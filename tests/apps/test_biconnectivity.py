@@ -1,0 +1,111 @@
+"""Tests for DFS-based biconnectivity (articulation points / bridges)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.biconnectivity import biconnectivity
+from repro.errors import ValidationError
+from repro.graphs import generators as gen
+from repro.graphs.csr import from_edges
+
+
+def undirected(n, pairs):
+    both = pairs + [(v, u) for u, v in pairs]
+    return from_edges(n, both)
+
+
+class TestSmallCases:
+    def test_path_all_internal_articulation(self):
+        g = gen.path_graph(5)
+        r = biconnectivity(g)
+        assert list(np.flatnonzero(r.articulation_points)) == [1, 2, 3]
+        assert r.bridge_set() == {(0, 1), (1, 2), (2, 3), (3, 4)}
+        assert r.n_components == 4  # each edge its own component
+
+    def test_cycle_no_articulation(self):
+        g = gen.cycle_graph(6)
+        r = biconnectivity(g)
+        assert not r.articulation_points.any()
+        assert r.bridges.size == 0
+        assert r.n_components == 1
+
+    def test_barbell(self):
+        """Two triangles joined by a bridge: the bridge endpoints are
+        articulation points and three biconnected components exist."""
+        g = undirected(6, [(0, 1), (1, 2), (2, 0),
+                           (3, 4), (4, 5), (5, 3),
+                           (2, 3)])
+        r = biconnectivity(g)
+        assert set(np.flatnonzero(r.articulation_points)) == {2, 3}
+        assert r.bridge_set() == {(2, 3)}
+        assert r.n_components == 3
+
+    def test_star_hub_is_articulation(self):
+        g = gen.star_graph(6)
+        r = biconnectivity(g)
+        assert list(np.flatnonzero(r.articulation_points)) == [0]
+        assert len(r.bridge_set()) == 5
+
+    def test_complete_graph_biconnected(self):
+        g = gen.complete_graph(5)
+        r = biconnectivity(g)
+        assert not r.articulation_points.any()
+        assert r.n_components == 1
+
+    def test_disconnected(self, disconnected_graph):
+        r = biconnectivity(disconnected_graph)
+        # Triangle (no APs) + bridge component 3-4.
+        assert not r.articulation_points[[0, 1, 2]].any()
+        assert (3, 4) in r.bridge_set()
+
+    def test_directed_rejected(self, dag_graph):
+        with pytest.raises(ValidationError):
+            biconnectivity(dag_graph)
+
+
+class TestEdgeLabelling:
+    def test_both_arc_directions_same_component(self):
+        g = undirected(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        r = biconnectivity(g)
+        src = np.repeat(np.arange(4), g.degree())
+        for j in range(g.n_edges):
+            u, v = int(src[j]), int(g.column_idx[j])
+            # Find the reverse arc and compare labels.
+            rev = [k for k in range(g.n_edges)
+                   if src[k] == v and g.column_idx[k] == u][0]
+            assert r.edge_component[j] == r.edge_component[rev]
+
+    def test_every_edge_labelled(self, small_road):
+        r = biconnectivity(small_road)
+        assert np.all(r.edge_component >= 0)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("builder,kwargs", [
+        (gen.road_network, dict(n_vertices=300)),
+        (gen.small_world, dict(n_vertices=250, k=4)),
+        (gen.co_purchase, dict(n_vertices=250)),
+    ])
+    def test_articulation_points_match(self, builder, kwargs):
+        nx = pytest.importorskip("networkx")
+        g = builder(seed=13, **kwargs)
+        r = biconnectivity(g)
+        G = nx.Graph(list(g.iter_edges()))
+        G.add_nodes_from(range(g.n_vertices))
+        expected = set(nx.articulation_points(G))
+        assert set(np.flatnonzero(r.articulation_points).tolist()) == expected
+
+    def test_bridges_match(self):
+        nx = pytest.importorskip("networkx")
+        g = gen.road_network(300, seed=13)
+        r = biconnectivity(g)
+        G = nx.Graph(list(g.iter_edges()))
+        expected = {(min(u, v), max(u, v)) for u, v in nx.bridges(G)}
+        assert r.bridge_set() == expected
+
+    def test_component_count_matches(self):
+        nx = pytest.importorskip("networkx")
+        g = gen.small_world(300, k=4, seed=5)
+        r = biconnectivity(g)
+        G = nx.Graph(list(g.iter_edges()))
+        assert r.n_components == sum(1 for _ in nx.biconnected_components(G))

@@ -1,0 +1,73 @@
+"""Unit tests for the GPU BFS baselines (Gunrock / BerryBees)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu_bfs import best_bfs, run_berrybees_bfs, run_gunrock_bfs
+from repro.graphs import generators as gen
+from repro.sim.device import A100, H100
+from repro.validate.reference import reachable_mask
+
+
+@pytest.mark.parametrize("runner", [run_gunrock_bfs, run_berrybees_bfs],
+                         ids=["gunrock", "berrybees"])
+class TestCorrectness:
+    def test_visited_matches_reachable(self, runner, small_road):
+        res = runner(small_road, 0)
+        assert np.array_equal(res.traversal.visited,
+                              reachable_mask(small_road, 0))
+
+    def test_levels_output(self, runner, tiny_path):
+        """Table 2: BFS baselines output levels."""
+        res = runner(tiny_path, 0)
+        assert list(res.level) == list(range(10))
+        assert res.n_levels == 10
+
+    def test_disconnected(self, runner, disconnected_graph):
+        res = runner(disconnected_graph, 0)
+        assert res.traversal.n_visited == 3
+        assert res.level[4] == -1
+
+    def test_edges_counted_once(self, runner, small_social):
+        res = runner(small_social, 0)
+        deg = small_social.degree()
+        assert res.traversal.edges_traversed == int(
+            deg[res.traversal.visited].sum())
+
+    def test_deterministic(self, runner, small_road):
+        assert runner(small_road, 0).cycles == runner(small_road, 0).cycles
+
+
+class TestCostModel:
+    def test_launch_overhead_dominates_deep_graphs(self):
+        """The paper's core BFS pathology: cost scales with level count on
+        deep graphs even at equal edge counts."""
+        deep = gen.path_graph(3000)
+        shallow = gen.star_graph(3000)
+        assert run_gunrock_bfs(deep, 0).cycles > 50 * run_gunrock_bfs(shallow, 0).cycles
+
+    def test_berrybees_wins_on_wide_frontiers(self, small_social):
+        g = run_gunrock_bfs(small_social, 0)
+        b = run_berrybees_bfs(small_social, 0)
+        assert b.cycles < g.cycles
+
+    def test_best_bfs_picks_faster(self, small_social, small_road):
+        for g in (small_social, small_road):
+            best = best_bfs(g, 0)
+            gun = run_gunrock_bfs(g, 0)
+            bb = run_berrybees_bfs(g, 0)
+            assert best.cycles == min(gun.cycles, bb.cycles)
+
+    def test_sim_scale_reduces_throughput(self, small_social):
+        full = run_gunrock_bfs(small_social, 0, sim_scale=1.0)
+        tiny = run_gunrock_bfs(small_social, 0, sim_scale=0.1)
+        assert tiny.cycles >= full.cycles
+
+    def test_device_difference(self, small_social):
+        h = run_gunrock_bfs(small_social, 0, device=H100)
+        a = run_gunrock_bfs(small_social, 0, device=A100)
+        assert h.cycles != a.cycles
+
+    def test_methods_labelled(self, tiny_path):
+        assert run_gunrock_bfs(tiny_path, 0).method == "Gunrock"
+        assert run_berrybees_bfs(tiny_path, 0).method == "BerryBees"

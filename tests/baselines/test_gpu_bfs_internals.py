@@ -1,0 +1,76 @@
+"""White-box tests for the BFS kernel cost model internals."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu_bfs import (
+    _frontier_edge_counts,
+    run_berrybees_bfs,
+    run_gunrock_bfs,
+)
+from repro.graphs import generators as gen
+from repro.graphs.properties import bfs_levels
+from repro.sim.device import H100
+
+
+class TestFrontierEdgeCounts:
+    def test_path(self):
+        g = gen.path_graph(4)
+        counts = _frontier_edge_counts(g, bfs_levels(g, 0))
+        # Levels: {0}, {1}, {2}, {3} with degrees 1,2,2,1.
+        assert counts == [1, 2, 2, 1]
+
+    def test_star(self):
+        g = gen.star_graph(6)
+        counts = _frontier_edge_counts(g, bfs_levels(g, 0))
+        assert counts == [5, 5]  # hub then all leaves
+
+    def test_total_equals_reachable_degree_sum(self, small_social):
+        lv = bfs_levels(small_social, 0)
+        counts = _frontier_edge_counts(small_social, lv)
+        assert sum(counts) == int(small_social.degree()[lv >= 0].sum())
+
+    def test_unreachable_excluded(self, disconnected_graph):
+        lv = bfs_levels(disconnected_graph, 0)
+        counts = _frontier_edge_counts(disconnected_graph, lv)
+        assert sum(counts) == 6  # the triangle's arcs only
+
+    def test_empty_when_nothing_reached(self):
+        g = gen.path_graph(3)
+        level = np.full(3, -1, dtype=np.int64)
+        assert _frontier_edge_counts(g, level) == []
+
+
+class TestCostComposition:
+    def test_cycles_are_launches_plus_work(self):
+        g = gen.path_graph(50)
+        res = run_gunrock_bfs(g, 0, device=H100, sim_scale=0.125)
+        costs = H100.costs
+        sms = H100.default_blocks(0.125)
+        expect = 0.0
+        for fe in _frontier_edge_counts(g, bfs_levels(g, 0)):
+            expect += costs.kernel_launch + fe / (costs.bfs_edge_throughput * sms)
+        assert res.cycles == int(expect)
+
+    def test_berrybees_bitmap_bonus_only_on_wide_frontiers(self):
+        """Narrow frontiers (deep path) gain only the cheaper launch; wide
+        frontiers also gain streaming speedup."""
+        deep = gen.path_graph(400)
+        wide = gen.star_graph(4000)
+        for g in (deep, wide):
+            gun = run_gunrock_bfs(g, 0, device=H100, sim_scale=0.125)
+            bb = run_berrybees_bfs(g, 0, device=H100, sim_scale=0.125)
+            assert bb.cycles < gun.cycles
+        # The wide graph's relative gain exceeds the launch-only 20%.
+        deep_gain = (run_gunrock_bfs(deep, 0).cycles
+                     / run_berrybees_bfs(deep, 0).cycles)
+        wide_gain = (run_gunrock_bfs(wide, 0).cycles
+                     / run_berrybees_bfs(wide, 0).cycles)
+        assert wide_gain > deep_gain
+
+    def test_single_vertex_graph(self):
+        g = gen.path_graph(1)
+        res = run_gunrock_bfs(g, 0)
+        assert res.n_levels == 1
+        assert res.traversal.edges_traversed == 0
+        assert res.cycles > 0

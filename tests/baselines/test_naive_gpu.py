@@ -1,0 +1,85 @@
+"""Tests for the naive per-thread-stack GPU DFS strawman."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive_gpu import run_naive_gpu_dfs
+from repro.core import DiggerBeesConfig, run_diggerbees
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.validate import reachable_mask, validate_traversal
+
+
+class TestCorrectness:
+    def test_valid_tree(self, small_road):
+        res = run_naive_gpu_dfs(small_road, 0, n_warps=8)
+        validate_traversal(small_road, res.traversal)
+
+    def test_visits_reachable(self, disconnected_graph):
+        res = run_naive_gpu_dfs(disconnected_graph, 0, n_warps=4)
+        assert np.array_equal(res.traversal.visited,
+                              reachable_mask(disconnected_graph, 0))
+
+    def test_single_vertex(self):
+        res = run_naive_gpu_dfs(gen.path_graph(1), 0, n_warps=4)
+        assert res.traversal.n_visited == 1
+
+    def test_work_conserved(self, small_social):
+        res = run_naive_gpu_dfs(small_social, 0, n_warps=8)
+        c = res.counters
+        assert c.pushes == c.pops == res.traversal.n_visited
+
+    def test_invalid_warps(self, tiny_path):
+        with pytest.raises(SimulationError):
+            run_naive_gpu_dfs(tiny_path, 0, n_warps=0)
+
+    def test_deterministic(self, small_road):
+        a = run_naive_gpu_dfs(small_road, 0, n_warps=8)
+        b = run_naive_gpu_dfs(small_road, 0, n_warps=8)
+        assert a.cycles == b.cycles
+
+
+class TestStrawmanBehaviour:
+    def test_only_seeded_warp_works(self, small_road):
+        """No stealing: all tasks stay on warp 0 (the seeded one)."""
+        res = run_naive_gpu_dfs(small_road, 0, n_warps=8)
+        assert set(res.counters.tasks_per_block) == {0}
+
+    def test_diggerbees_beats_naive(self):
+        """The paper's machinery must decisively beat the naive port —
+        this is the quantified version of §2.3's three challenges."""
+        g = gen.road_network(2000, seed=3)
+        naive = run_naive_gpu_dfs(g, 0, n_warps=64)
+        cfg = DiggerBeesConfig(n_blocks=8, warps_per_block=8, seed=3)
+        db = run_diggerbees(g, 0, config=cfg)
+        assert db.mteps > 2.0 * naive.mteps
+
+    def test_extra_warps_do_not_help(self):
+        """Issue #3 with no remedy: without stealing, adding warps adds
+        nothing — the seeded warp does all the work either way."""
+        g = gen.road_network(1200, seed=3)
+        one = run_naive_gpu_dfs(g, 0, n_warps=1)
+        many = run_naive_gpu_dfs(g, 0, n_warps=64)
+        assert many.cycles >= one.cycles * 0.95
+
+    def test_divergent_lanes_serialize(self):
+        """Per-step cost grows with the number of active lanes: the same
+        vertex count costs more warp-cycles when spread over lanes."""
+        from repro.baselines.naive_gpu import (
+            LANE_SERIALIZATION,
+            LOCAL_STACK_OP,
+            _NaiveState,
+            _NaiveWarp,
+        )
+        from repro.sim.device import H100
+
+        g = gen.star_graph(40)
+        state = _NaiveState(g, 0, 1, H100)
+        warp = _NaiveWarp(state, 0)
+        one_lane = warp.step(0).cost       # only the hub's lane active
+        for _ in range(6):                 # spread work over lanes
+            warp.step(0)
+        many = warp.step(0).cost
+        assert many > one_lane
+        assert many >= H100.costs.visit_base + 2 * (LANE_SERIALIZATION
+                                                    + LOCAL_STACK_OP)

@@ -1,0 +1,105 @@
+"""Unit + integration tests for the NVG-DFS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nvg_dfs import is_dag, nvg_memory_footprint, run_nvg_dfs
+from repro.errors import MemoryLimitExceeded
+from repro.graphs import generators as gen
+from repro.graphs.csr import from_edges
+from repro.graphs.properties import bfs_levels
+from repro.validate import check_lexicographic, serial_dfs, validate_traversal
+
+
+class TestIsDag:
+    def test_dag_detected(self, dag_graph):
+        assert is_dag(dag_graph)
+
+    def test_cycle_detected(self):
+        g = from_edges(3, [(0, 1), (1, 2), (2, 0)], directed=True)
+        assert not is_dag(g)
+
+    def test_undirected_never_dag(self, small_road):
+        assert not is_dag(small_road)
+
+
+class TestDagMode:
+    """On true DAGs the mechanical path propagation must match serial
+    lexicographic DFS exactly — the core correctness claim of Naumov's
+    construction."""
+
+    def test_diamond_dag(self, dag_graph):
+        res = run_nvg_dfs(dag_graph, 0)
+        ref = serial_dfs(dag_graph, 0)
+        assert np.array_equal(res.traversal.parent, ref.parent)
+        assert np.array_equal(res.traversal.order, ref.order)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_citation_dags(self, seed):
+        g = gen.citation_graph(300, seed=seed, symmetrize=False)
+        assert is_dag(g)
+        res = run_nvg_dfs(g, g.n_vertices - 1)  # newest paper reaches back
+        check_lexicographic(g, res.traversal)
+
+    def test_dag_with_unreachable(self, dag_graph):
+        res = run_nvg_dfs(dag_graph, 1)  # vertex 0 unreachable from 1
+        assert not res.traversal.visited[0]
+        assert res.traversal.visited[3]
+
+
+class TestGeneralMode:
+    def test_lexicographic_on_undirected(self, small_road):
+        res = run_nvg_dfs(small_road, 0)
+        check_lexicographic(small_road, res.traversal)
+        validate_traversal(small_road, res.traversal, check_lex=True)
+
+    def test_rounds_equal_tree_depth(self, paper_example_graph):
+        res = run_nvg_dfs(paper_example_graph, 0)
+        # Serial tree a->b->d->e->c->f has depth 5 (f at depth 5).
+        assert res.rounds == 6
+
+    def test_slower_on_deeper_graphs(self):
+        shallow = gen.star_graph(1000)
+        deep = gen.path_graph(1000)
+        rs = run_nvg_dfs(shallow, 0)
+        # The deep run needs a raised memory budget just to complete.
+        rd = run_nvg_dfs(deep, 0, memory_budget_per_vertex=10**9)
+        assert rd.cycles > 10 * rs.cycles
+
+
+class TestMemoryFailure:
+    def test_deep_graph_fails(self):
+        """The paper's headline failure mode: path tracking explodes on
+        deep graphs (44/234 graphs fail)."""
+        g = gen.path_graph(2000)
+        with pytest.raises(MemoryLimitExceeded) as exc:
+            run_nvg_dfs(g, 0)
+        assert exc.value.required_bytes > exc.value.available_bytes
+
+    def test_shallow_graph_succeeds(self):
+        g = gen.star_graph(2000)
+        res = run_nvg_dfs(g, 0)
+        assert res.traversal.n_visited == 2000
+
+    def test_budget_override(self):
+        g = gen.path_graph(500)
+        with pytest.raises(MemoryLimitExceeded):
+            run_nvg_dfs(g, 0, memory_budget_per_vertex=100)
+        res = run_nvg_dfs(g, 0, memory_budget_per_vertex=10**9)
+        assert res.traversal.n_visited == 500
+
+    def test_footprint_monotone_in_depth(self):
+        deep = gen.path_graph(400)
+        shallow = gen.star_graph(400)
+        fd = nvg_memory_footprint(deep, bfs_levels(deep, 0))
+        fs = nvg_memory_footprint(shallow, bfs_levels(shallow, 0))
+        assert fd > fs
+
+
+class TestTiming:
+    def test_mteps_positive(self, small_social):
+        assert run_nvg_dfs(small_social, 0).mteps > 0
+
+    def test_levels_reported(self, tiny_path):
+        res = run_nvg_dfs(tiny_path, 0)
+        assert res.levels == 10

@@ -1,0 +1,138 @@
+"""White-box tests of the CPU PDFS protocol internals (CKL vs ACR)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pdfs_cpu import (
+    CPU_SCAN_WIDTH,
+    _CoreAgent,
+    _CpuRunState,
+    run_acr_pdfs,
+    run_ckl_pdfs,
+)
+from repro.graphs import generators as gen
+from repro.sim.device import XEON_MAX_9462
+
+
+def make_state(graph, cores=4, root=0, seed=1):
+    return _CpuRunState(graph, root, cores, XEON_MAX_9462, seed)
+
+
+class TestCklProtocol:
+    def test_steal_takes_half_from_oldest_end(self):
+        g = gen.path_graph(64)
+        state = make_state(g, cores=2)
+        # Hand-build a victim deque of 8 entries on core 0.
+        state.deques[0] = [[v, 0] for v in range(10, 18)]
+        thief = _CoreAgent(state, 1, "ckl")
+        # Force the RNG to pick victim 0 by monkeypatching the stream.
+        state.rngs[1] = np.random.default_rng(0)
+        for _ in range(20):
+            if state.deques[1]:
+                break
+            thief.step(0)
+        assert state.deques[1], "thief never stole"
+        stolen = [v for v, _ in state.deques[1]]
+        assert stolen == list(range(10, 14))       # oldest half
+        assert [v for v, _ in state.deques[0]] == list(range(14, 18))
+
+    def test_steal_is_adaptive(self):
+        """The amount scales with the victim's deque (steal-half)."""
+        g = gen.path_graph(64)
+        for size, expected in ((2, 1), (8, 4), (20, 10)):
+            state = make_state(g, cores=2)
+            state.deques[0] = [[v, 0] for v in range(size)]
+            thief = _CoreAgent(state, 1, "ckl")
+            state.rngs[1] = np.random.default_rng(0)
+            for _ in range(30):
+                if state.deques[1]:
+                    break
+                thief.step(0)
+            assert len(state.deques[1]) == expected
+
+    def test_no_steal_from_singleton(self):
+        g = gen.path_graph(8)
+        state = make_state(g, cores=2)
+        # Core 0 holds only the root entry: not a valid victim.
+        thief = _CoreAgent(state, 1, "ckl")
+        for _ in range(10):
+            thief.step(0)
+        assert not state.deques[1]
+
+
+class TestAcrProtocol:
+    def test_request_then_donate_then_collect(self):
+        g = gen.path_graph(64)
+        state = make_state(g, cores=2)
+        state.deques[0] = [[v, 0] for v in range(10, 18)]
+        victim = _CoreAgent(state, 0, "acr")
+        thief = _CoreAgent(state, 1, "acr")
+        state.rngs[1] = np.random.default_rng(0)
+        # 1. Thief posts a request.
+        for _ in range(10):
+            if state.requests[0] is not None:
+                break
+            thief.step(0)
+        assert state.requests[0] == 1
+        # 2. Victim services it on its next step (donates half).
+        victim.step(0)
+        assert state.requests[0] is None
+        assert state.mailboxes[1] is not None
+        assert [v for v, _ in state.mailboxes[1]] == list(range(10, 14))
+        # 3. Thief collects the donation.
+        thief.step(0)
+        assert state.mailboxes[1] is None
+        assert [v for v, _ in state.deques[1]] == list(range(10, 14))
+
+    def test_victim_declines_when_too_small(self):
+        g = gen.path_graph(8)
+        state = make_state(g, cores=2)
+        state.requests[0] = 1        # pending request, deque has 1 entry
+        victim = _CoreAgent(state, 0, "acr")
+        victim.step(0)
+        assert state.requests[0] is None     # cleared
+        assert state.mailboxes[1] is None    # but nothing donated
+
+    def test_stale_request_on_idle_victim_cleared(self):
+        g = gen.path_graph(8)
+        state = make_state(g, cores=2, root=0)
+        state.deques[0].clear()
+        state.pending = 1            # keep the run notionally alive
+        state.requests[0] = 1
+        victim = _CoreAgent(state, 0, "acr")
+        victim.step(0)
+        assert state.requests[0] is None
+
+    def test_one_outstanding_request_per_victim(self):
+        g = gen.path_graph(64)
+        state = make_state(g, cores=3)
+        state.deques[0] = [[v, 0] for v in range(10, 18)]
+        state.requests[0] = 2        # core 2 already asked
+        thief = _CoreAgent(state, 1, "acr")
+        state.rngs[1] = np.random.default_rng(0)
+        for _ in range(10):
+            thief.step(0)
+        assert state.requests[0] == 2  # never overwritten
+
+
+class TestScanWindow:
+    def test_cpu_scan_width(self):
+        assert CPU_SCAN_WIDTH == 8
+
+    def test_wide_rows_take_multiple_steps(self):
+        g = gen.star_graph(40)  # hub degree 39
+        state = make_state(g, cores=1)
+        core = _CoreAgent(state, 0, "ckl")
+        core.step(0)  # first window claims leaf at offset 0
+        assert state.counters.edges_traversed == 1
+        # Hub entry's offset advanced by exactly one claim.
+        assert state.deques[0][0][0] == 0  # hub still at the bottom
+
+
+class TestEndToEndAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_protocols_agree_on_visited(self, seed):
+        g = gen.co_purchase(500, seed=seed)
+        a = run_ckl_pdfs(g, 0, cores=6, seed=seed)
+        b = run_acr_pdfs(g, 0, cores=6, seed=seed)
+        assert np.array_equal(a.traversal.visited, b.traversal.visited)

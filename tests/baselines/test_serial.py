@@ -1,0 +1,34 @@
+"""Unit tests for the serial DFS baseline wrapper."""
+
+import pytest
+
+from repro.baselines.serial import run_serial_dfs
+from repro.graphs import generators as gen
+from repro.validate import validate_traversal
+
+
+class TestSerialBaseline:
+    def test_output_is_strict_lexicographic(self, small_road):
+        res = run_serial_dfs(small_road, 0)
+        rep = validate_traversal(small_road, res.traversal, check_lex=True)
+        assert rep.strict_dfs and rep.lexicographic
+
+    def test_timing_scales_with_size(self):
+        small = run_serial_dfs(gen.path_graph(100), 0)
+        big = run_serial_dfs(gen.path_graph(1000), 0)
+        assert big.cycles > 5 * small.cycles
+
+    def test_mteps_positive(self, tiny_tree):
+        assert run_serial_dfs(tiny_tree, 0).mteps > 0
+
+    def test_method_label(self, tiny_path):
+        assert run_serial_dfs(tiny_path, 0).method == "Serial-DFS"
+
+    def test_high_degree_cheaper_per_edge(self):
+        """Cache-line amortization: a dense graph is cheaper per edge."""
+        dense = gen.complete_graph(60)      # degree 59
+        sparse = gen.path_graph(60)         # degree 2
+        d = run_serial_dfs(dense, 0)
+        s = run_serial_dfs(sparse, 0)
+        assert (d.cycles / d.traversal.edges_traversed
+                < s.cycles / s.traversal.edges_traversed)

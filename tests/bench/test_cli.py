@@ -1,0 +1,51 @@
+"""Unit tests for the CLI (`python -m repro.bench`)."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiments == ["table1"]
+        assert args.sim_scale == 0.125
+        assert not args.quick
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig6", "fig8", "--quick", "--seed", "3", "--roots", "1"])
+        assert args.experiments == ["fig6", "fig8"]
+        assert args.quick and args.seed == 3 and args.roots == 1
+
+
+class TestMain:
+    def test_unknown_experiment(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_table_runs_and_prints(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "H100" in out
+        assert "[table1 regenerated" in out
+
+    def test_archive_to_dir(self, tmp_path, capsys):
+        assert main(["table3", "--out", str(tmp_path)]) == 0
+        archived = tmp_path / "table3.txt"
+        assert archived.exists()
+        assert "dimacs10" in archived.read_text()
+
+    def test_all_is_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4",
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        }
+
+    def test_quick_fig10_runs(self, capsys, tmp_path):
+        # The fastest real figure in quick mode keeps this test cheap.
+        assert main(["fig10", "--quick", "--roots", "1",
+                     "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig10.txt").exists()

@@ -1,0 +1,99 @@
+"""Unit tests for the artifact-compatible CSV outputs."""
+
+import csv
+
+import pytest
+
+from repro.analysis.loadbalance import LoadBalanceReport
+from repro.bench.csvout import (
+    write_balance_csvs,
+    write_bfs_perf_csv,
+    write_dfs_perf_csv,
+    write_rep_perf_csv,
+)
+from repro.bench.experiments import Fig5Result, Fig6Result, Fig9Result
+
+
+@pytest.fixture
+def fig5_result():
+    rows = [
+        {"graph": "g1", "edges": 100, "device": "H100",
+         "CKL-PDFS": 10.0, "ACR-PDFS": 9.5, "NVG-DFS": 1.0,
+         "DiggerBees": 20.0},
+        {"graph": "g2", "edges": 500, "device": "H100",
+         "CKL-PDFS": 12.0, "ACR-PDFS": 11.0, "NVG-DFS": 0.0,
+         "DiggerBees": 30.0},
+    ]
+    return Fig5Result(rows=rows, geomean_vs={}, max_vs={},
+                      nvg_failures=1, n_graphs=2)
+
+
+@pytest.fixture
+def fig6_result():
+    rows = [
+        {"graph": "deepg", "regime": "deep", "CKL-PDFS": 1.0,
+         "ACR-PDFS": 1.0, "NVG-DFS": 0.5, "DiggerBees": 5.0,
+         "BestBFS": 2.0},
+    ]
+    return Fig6Result(rows=rows, db_wins_deep=["deepg"], bfs_wins_shallow=[])
+
+
+@pytest.fixture
+def fig9_result():
+    rep = LoadBalanceReport(tasks=(3, 0, 7), min=0, median=3, max=7,
+                            variation=0.8, active_blocks=2)
+    rows = [{"graph": "deepg", "baseline": rep, "diggerbees": rep,
+             "improvement": 1.0}]
+    return Fig9Result(rows=rows)
+
+
+def read_csv(path):
+    with open(path) as fh:
+        return list(csv.reader(fh))
+
+
+class TestDfsCsv:
+    def test_layout(self, tmp_path, fig5_result):
+        path = write_dfs_perf_csv(fig5_result, tmp_path / "merged_dfs_perf.csv")
+        rows = read_csv(path)
+        assert rows[0] == ["graph", "edges", "ckl_pdfs", "acr_pdfs",
+                           "nvg_dfs", "diggerbees"]
+        assert rows[1][0] == "g1"
+        assert float(rows[1][5]) == 20.0
+
+    def test_failures_as_zero(self, tmp_path, fig5_result):
+        path = write_dfs_perf_csv(fig5_result, tmp_path / "d.csv")
+        rows = read_csv(path)
+        assert float(rows[2][4]) == 0.0  # g2's NVG failure
+
+    def test_creates_parent_dirs(self, tmp_path, fig5_result):
+        path = write_dfs_perf_csv(fig5_result, tmp_path / "a" / "b" / "d.csv")
+        assert path.exists()
+
+
+class TestBfsAndRepCsv:
+    def test_bfs_csv(self, tmp_path, fig6_result):
+        path = write_bfs_perf_csv(fig6_result, tmp_path / "merged_bfs_perf.csv")
+        rows = read_csv(path)
+        assert rows[0] == ["graph", "regime", "best_bfs_mteps"]
+        assert rows[1] == ["deepg", "deep", "2.000"]
+
+    def test_rep_csv(self, tmp_path, fig6_result):
+        path = write_rep_perf_csv(fig6_result, tmp_path / "merged_perf_rep.csv")
+        rows = read_csv(path)
+        assert "diggerbees" in rows[0]
+        assert rows[1][-1] == "2.000"
+
+
+class TestBalanceCsvs:
+    def test_both_policies_written(self, tmp_path, fig9_result):
+        written = write_balance_csvs(fig9_result, tmp_path)
+        assert len(written) == 2
+        names = {p.parent.name for p in written}
+        assert names == {"balance_baseline", "balance_diggerbees"}
+
+    def test_one_count_per_line(self, tmp_path, fig9_result):
+        written = write_balance_csvs(fig9_result, tmp_path)
+        rows = read_csv(written[0])
+        assert rows[0] == ["tasks_per_block"]
+        assert [r[0] for r in rows[1:]] == ["3", "0", "7"]

@@ -1,0 +1,130 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    ALL_METHODS,
+    BenchConfig,
+    MethodSummary,
+    geomean_speedup,
+    pick_roots,
+    run_graph,
+    run_method,
+    summarize_method,
+)
+from repro.errors import BenchmarkError
+from repro.graphs import generators as gen
+from repro.sim.device import A100
+from repro.sim.metrics import PerfSample
+
+FAST = BenchConfig(sim_scale=0.05, warps_per_block=2, n_roots=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def road():
+    return gen.road_network(600, seed=11)
+
+
+class TestRoots:
+    def test_deterministic(self, road):
+        assert pick_roots(road, FAST) == pick_roots(road, FAST)
+
+    def test_count(self, road):
+        assert len(pick_roots(road, FAST)) == 2
+        assert len(pick_roots(road, FAST.with_(n_roots=5))) == 5
+
+    def test_roots_have_edges(self, road):
+        for r in pick_roots(road, FAST.with_(n_roots=8)):
+            assert road.degree(r) > 0
+
+    def test_different_graphs_different_roots(self, road):
+        other = gen.road_network(600, seed=12).with_name("other")
+        assert pick_roots(road, FAST) != pick_roots(other, FAST)
+
+
+class TestRunMethod:
+    @pytest.mark.parametrize("method", sorted(ALL_METHODS))
+    def test_every_method_produces_sample(self, method, road):
+        s = run_method(method, road, 0, FAST)
+        assert s.method == method
+        assert s.failed or s.mteps > 0
+
+    def test_unknown_method(self, road):
+        with pytest.raises(BenchmarkError):
+            run_method("QuantumDFS", road, 0, FAST)
+
+    def test_nvg_failure_becomes_sample(self):
+        deep = gen.path_graph(3000)
+        s = run_method("NVG-DFS", deep, 0, FAST)
+        assert s.failed
+        assert s.mteps == 0.0
+
+    def test_device_override(self, road):
+        s = run_method("DiggerBees", road, 0, FAST.with_(device=A100))
+        assert s.device == "A100"
+
+
+class TestRunGraphAndSummaries:
+    def test_run_graph_shape(self, road):
+        out = run_graph(["DiggerBees", "Gunrock"], road, FAST)
+        assert set(out) == {"DiggerBees", "Gunrock"}
+        assert all(len(v) == 2 for v in out.values())
+
+    def test_summarize(self, road):
+        out = run_graph(["Gunrock"], road, FAST)
+        s = summarize_method(out["Gunrock"])
+        assert s.n_roots == 2 and s.n_failed == 0
+        assert s.mteps > 0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            summarize_method([])
+
+    def test_summary_with_failures(self):
+        samples = [
+            PerfSample("NVG-DFS", "g", "H100", 0, 100, 10, 1e-3),
+            PerfSample.failure("NVG-DFS", "g", "H100", 1, "OOM"),
+        ]
+        s = summarize_method(samples)
+        assert s.n_failed == 1 and not s.failed
+        assert s.mteps > 0
+
+    def test_all_failed_summary(self):
+        samples = [PerfSample.failure("NVG-DFS", "g", "H100", 0, "OOM")]
+        s = summarize_method(samples)
+        assert s.failed and s.mteps == 0.0
+
+
+class TestGeomeanSpeedup:
+    def make(self, method, graph, mteps, failed=False):
+        return MethodSummary(method=method, graph=graph, mteps=mteps,
+                             n_roots=1, n_failed=1 if failed else 0)
+
+    def test_basic(self):
+        base = [self.make("B", "g1", 10), self.make("B", "g2", 10)]
+        cand = [self.make("C", "g1", 20), self.make("C", "g2", 40)]
+        assert geomean_speedup(base, cand) == pytest.approx((2 * 4) ** 0.5)
+
+    def test_failed_pairs_excluded(self):
+        base = [self.make("B", "g1", 10), self.make("B", "g2", 0, failed=True)]
+        cand = [self.make("C", "g1", 30), self.make("C", "g2", 99)]
+        assert geomean_speedup(base, cand) == pytest.approx(3.0)
+
+    def test_no_pairs_raises(self):
+        base = [self.make("B", "g1", 0, failed=True)]
+        cand = [self.make("C", "g1", 10)]
+        with pytest.raises(BenchmarkError):
+            geomean_speedup(base, cand)
+
+
+class TestBenchConfig:
+    def test_diggerbees_config_versions(self):
+        cfg = BenchConfig(sim_scale=0.25)
+        assert cfg.diggerbees_config(1).n_blocks == 1
+        assert cfg.diggerbees_config(4).n_blocks == 33
+
+    def test_overrides_win(self):
+        cfg = BenchConfig()
+        dbc = cfg.diggerbees_config(victim_policy="random", seed=99)
+        assert dbc.victim_policy == "random"
+        assert dbc.seed == 99

@@ -1,0 +1,45 @@
+"""Unit tests for the measured Table 2 semantics classifier."""
+
+import pytest
+
+from repro.bench.semantics import observed_semantics
+from repro.graphs import generators as gen
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {r[0]: r for r in observed_semantics()}
+
+
+class TestObservedSemantics:
+    def test_all_methods_present(self, rows):
+        assert set(rows) == {
+            "CKL-PDFS", "ACR-PDFS", "NVG-DFS", "Gunrock/BerryBees",
+            "DiggerBees (this work)",
+        }
+
+    def test_everyone_reports_visited(self, rows):
+        for name, row in rows.items():
+            assert row[1] == "yes", f"{name} visited wrong"
+
+    def test_cpu_baselines_no_tree(self, rows):
+        assert rows["CKL-PDFS"][2] == "N/A"
+        assert rows["ACR-PDFS"][2] == "N/A"
+
+    def test_nvg_ordered_tree(self, rows):
+        assert rows["NVG-DFS"][2] == "yes"
+        assert rows["NVG-DFS"][3] == "ordered"
+
+    def test_bfs_levels_only(self, rows):
+        row = rows["Gunrock/BerryBees"]
+        assert row[2] == "N/A" and row[4] == "yes"
+
+    def test_diggerbees_unordered_tree(self, rows):
+        row = rows["DiggerBees (this work)"]
+        assert row[2] == "yes"
+        assert row[3] == "unordered"
+
+    def test_custom_graph(self):
+        g = gen.delaunay_mesh(200, seed=1)
+        out = {r[0]: r for r in observed_semantics(g)}
+        assert out["DiggerBees (this work)"][2] == "yes"

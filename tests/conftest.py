@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph, from_adjacency, from_edges
+
+
+@pytest.fixture
+def paper_example_graph() -> CSRGraph:
+    """The 6-vertex graph of the paper's Figure 1.
+
+    Vertices a-f = 0-5; serial DFS from a visits a,b,d,e,c,f and the
+    lexicographic tree is a->b->d->e, with c and f hanging as in Fig 1(b).
+    Adjacency (undirected): a-b, a-c, b-d, b-e, c-e, c-f, d-e.
+    """
+    edges = [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 4)]
+    both = edges + [(v, u) for (u, v) in edges]
+    return from_edges(6, both, name="fig1")
+
+
+@pytest.fixture
+def tiny_path() -> CSRGraph:
+    return gen.path_graph(10)
+
+
+@pytest.fixture
+def tiny_tree() -> CSRGraph:
+    return gen.binary_tree(5)
+
+
+@pytest.fixture
+def small_road() -> CSRGraph:
+    return gen.road_network(800, seed=42)
+
+
+@pytest.fixture
+def small_social() -> CSRGraph:
+    return gen.preferential_attachment(600, m=4, seed=42)
+
+
+@pytest.fixture
+def disconnected_graph() -> CSRGraph:
+    """Two components: a triangle {0,1,2} and an edge {3,4}; 5 isolated."""
+    edges = [(0, 1), (1, 2), (2, 0), (3, 4)]
+    both = edges + [(v, u) for (u, v) in edges]
+    return from_edges(6, both, name="disconnected")
+
+
+@pytest.fixture
+def dag_graph() -> CSRGraph:
+    """A small DAG (diamond + tail) for NVG-DFS DAG-mode tests."""
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 4)]
+    return from_edges(5, edges, directed=True, name="dag")
+
+
+def assert_same_visited(a: np.ndarray, b: np.ndarray) -> None:
+    assert np.array_equal(np.asarray(a, bool), np.asarray(b, bool))

@@ -1,0 +1,71 @@
+"""Structural-equivariance property tests for DiggerBees.
+
+The algorithm's *outputs that matter* (the visited set; validity of the
+tree) must be invariant under irrelevant transformations: relabelling
+vertices, permuting adjacency order, or re-rooting within a connected
+component.  Timing may change (branch choices differ), correctness may
+not.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DiggerBeesConfig, run_diggerbees
+from repro.graphs import generators as gen
+from repro.graphs.transform import random_relabel
+from repro.utils.rng import make_rng
+from repro.validate import validate_traversal
+
+CFG = DiggerBeesConfig(n_blocks=2, warps_per_block=2, hot_size=16,
+                       hot_cutoff=4, cold_cutoff=4, flush_batch=4,
+                       refill_batch=4, cold_reserve=16, seed=9)
+
+
+class TestRelabelEquivariance:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_visited_set_maps_through_permutation(self, seed):
+        g = gen.co_purchase(200, seed=seed)
+        perm_g, perm = random_relabel(g, seed=seed + 1)
+        a = run_diggerbees(g, 0, config=CFG)
+        b = run_diggerbees(perm_g, int(perm[0]), config=CFG)
+        # visited sets correspond under the permutation.
+        mapped = np.zeros_like(a.traversal.visited)
+        mapped[perm] = a.traversal.visited
+        assert np.array_equal(mapped, b.traversal.visited)
+        # Both trees are valid in their own labellings.
+        validate_traversal(perm_g, b.traversal)
+
+    def test_edge_count_invariant(self, small_road):
+        perm_g, perm = random_relabel(small_road, seed=3)
+        a = run_diggerbees(small_road, 0, config=CFG)
+        b = run_diggerbees(perm_g, int(perm[0]), config=CFG)
+        assert (a.traversal.edges_traversed == b.traversal.edges_traversed)
+
+
+class TestRootInvariance:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_any_root_covers_the_component(self, seed):
+        rng = make_rng(seed)
+        g = gen.delaunay_mesh(150, seed=seed)  # connected
+        root = int(rng.integers(0, g.n_vertices))
+        res = run_diggerbees(g, root, config=CFG)
+        assert res.n_visited == g.n_vertices
+        validate_traversal(g, res.traversal)
+
+
+class TestAdjacencyOrderIrrelevance:
+    def test_unsorted_adjacency_still_valid(self):
+        """DiggerBees never requires sorted neighbour lists."""
+        from repro.graphs.csr import from_edges
+
+        rng = make_rng(4)
+        edges = rng.integers(0, 120, size=(500, 2))
+        both = np.vstack([edges, edges[:, ::-1]])
+        g = from_edges(120, both, dedupe=True, drop_self_loops=True,
+                       sort_neighbors=False)
+        res = run_diggerbees(g, 0, config=CFG, check_invariants=True)
+        validate_traversal(g, res.traversal)

@@ -1,0 +1,79 @@
+"""Unit tests for the flush-policy ablation (tail vs head)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiggerBeesConfig, run_diggerbees
+from repro.core.twolevel_stack import WarpStack
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.validate import validate_traversal
+
+
+class TestHeadFlushMechanics:
+    def make(self, policy):
+        return WarpStack(hot_size=8, flush_batch=2, refill_batch=2,
+                         flush_policy=policy)
+
+    def test_tail_flushes_oldest(self):
+        s = self.make("tail")
+        for i in range(7):
+            s.hot.push(i, i)
+        s.flush()
+        assert [v for v, _ in s.cold.snapshot()] == [0, 1]
+        assert s.hot.peek() == (6, 6)      # newest still on top
+
+    def test_head_flushes_newest(self):
+        s = self.make("head")
+        for i in range(7):
+            s.hot.push(i, i)
+        s.flush()
+        # Newest two (5, 6) moved; ColdSeg stores them oldest-first.
+        assert [v for v, _ in s.cold.snapshot()] == [5, 6]
+        assert s.hot.peek() == (4, 4)
+
+    def test_head_flush_refill_restores_order(self):
+        """Flushing the head then refilling must return the same entries
+        in LIFO order (the batch round-trips)."""
+        s = self.make("head")
+        for i in range(7):
+            s.hot.push(i, i)
+        s.flush()
+        while not s.hot.is_empty:
+            s.hot.pop()
+        s.refill()
+        assert s.hot.pop() == (6, 6)
+        assert s.hot.pop() == (5, 5)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            WarpStack(hot_size=8, flush_batch=2, refill_batch=2,
+                      flush_policy="middle")
+        with pytest.raises(SimulationError):
+            DiggerBeesConfig(flush_policy="middle")
+
+
+class TestHeadFlushEndToEnd:
+    def test_head_policy_still_correct(self):
+        """The ablation changes performance, never correctness."""
+        g = gen.road_network(900, seed=5)
+        cfg = DiggerBeesConfig(n_blocks=2, warps_per_block=4, hot_size=16,
+                               hot_cutoff=4, cold_cutoff=4, flush_batch=4,
+                               refill_batch=4, cold_reserve=16, seed=5,
+                               flush_policy="head")
+        res = run_diggerbees(g, 0, config=cfg, check_invariants=True)
+        validate_traversal(g, res.traversal)
+        assert res.counters.flushes > 0
+
+    def test_policies_visit_same_set(self):
+        g = gen.delaunay_mesh(600, seed=5)
+        results = {}
+        for policy in ("tail", "head"):
+            cfg = DiggerBeesConfig(n_blocks=2, warps_per_block=4,
+                                   hot_size=16, hot_cutoff=4, cold_cutoff=4,
+                                   flush_batch=4, refill_batch=4,
+                                   cold_reserve=16, seed=5,
+                                   flush_policy=policy)
+            results[policy] = run_diggerbees(g, 0, config=cfg)
+        assert np.array_equal(results["tail"].traversal.visited,
+                              results["head"].traversal.visited)

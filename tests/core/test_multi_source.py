@@ -1,0 +1,97 @@
+"""Tests for the multi-source (forest / warm-start) DiggerBees mode."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiggerBeesConfig
+from repro.core.multi_source import run_diggerbees_multi
+from repro.errors import SimulationError, ValidationError
+from repro.graphs import generators as gen
+from repro.graphs.csr import from_edges
+from repro.validate import check_tree_validity
+
+CFG = DiggerBeesConfig(n_blocks=4, warps_per_block=2, hot_size=16,
+                       hot_cutoff=4, cold_cutoff=4, flush_batch=4,
+                       refill_batch=4, cold_reserve=16, seed=3)
+
+
+def forest_is_valid(graph, result):
+    """Each claimed root's tree must be valid over its component."""
+    parent = result.traversal.parent
+    for root in result.roots:
+        assert parent[root] == -1
+    # Validate tree-ness globally: every visited non-root has a visited
+    # parent via a real edge, chains reach some root.
+    from repro.validate.euler import build_euler_tour
+
+    visited = result.traversal.visited
+    for root in result.roots:
+        comp = np.zeros_like(visited)
+        # membership: walk chains (cheap at test sizes)
+        for v in np.flatnonzero(visited):
+            cur = v
+            while parent[cur] >= 0:
+                cur = parent[cur]
+            if cur == root:
+                comp[v] = True
+        build_euler_tour(parent, root, comp)
+
+
+class TestForestCoverage:
+    def test_disconnected_covered_in_one_run(self, disconnected_graph):
+        res = run_diggerbees_multi(disconnected_graph, [0, 3, 5], config=CFG,
+                                   check_invariants=True)
+        assert res.traversal.n_visited == 6
+        assert set(res.roots) == {0, 3, 5}
+        forest_is_valid(disconnected_graph, res)
+
+    def test_same_component_roots_partition_it(self, small_road):
+        """Distinct roots in one component each claim a tree: the
+        component is partitioned (parallel multi-source semantics)."""
+        res = run_diggerbees_multi(small_road, [0, 100, 200], config=CFG,
+                                   check_invariants=True)
+        assert set(res.roots) == {0, 100, 200}
+        assert res.traversal.n_visited == small_road.n_vertices
+        forest_is_valid(small_road, res)
+
+    def test_duplicate_roots(self, disconnected_graph):
+        res = run_diggerbees_multi(disconnected_graph, [0, 0, 3, 3], config=CFG)
+        assert set(res.roots) == {0, 3}
+
+    def test_empty_roots_rejected(self, tiny_path):
+        with pytest.raises(SimulationError):
+            run_diggerbees_multi(tiny_path, [], config=CFG)
+
+    def test_root_out_of_range(self, tiny_path):
+        from repro.errors import GraphFormatError
+
+        with pytest.raises(GraphFormatError):
+            run_diggerbees_multi(tiny_path, [0, 99], config=CFG)
+
+
+class TestWarmStart:
+    def test_multi_seed_speeds_up_deep_graph(self):
+        """Seeding spread-out roots removes the single-source ramp-up on
+        a deep graph: the forest covers the same vertices in fewer
+        cycles."""
+        g = gen.road_network(4000, seed=3)
+        single = run_diggerbees_multi(g, [0], config=CFG)
+        multi = run_diggerbees_multi(g, [0, 1000, 2000, 3000], config=CFG)
+        assert multi.traversal.n_visited == single.traversal.n_visited
+        assert multi.cycles < single.cycles
+
+    def test_seeds_distributed_round_robin(self, disconnected_graph):
+        res = run_diggerbees_multi(disconnected_graph, [0, 3, 5], config=CFG)
+        # Root 3 seeded on block 1, root 5 on block 2 -> those blocks
+        # recorded tasks.
+        assert 1 in res.counters.tasks_per_block
+        assert 2 in res.counters.tasks_per_block
+
+    def test_deterministic(self, disconnected_graph):
+        a = run_diggerbees_multi(disconnected_graph, [0, 3, 5], config=CFG)
+        b = run_diggerbees_multi(disconnected_graph, [0, 3, 5], config=CFG)
+        assert a.cycles == b.cycles
+        assert a.roots == b.roots
+
+    def test_mteps_positive(self, small_road):
+        assert run_diggerbees_multi(small_road, [0], config=CFG).mteps > 0

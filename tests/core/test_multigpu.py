@@ -1,0 +1,98 @@
+"""Tests for the multi-GPU extension (hierarchical remote stealing)."""
+
+import pytest
+
+from repro.core import DiggerBeesConfig, run_diggerbees
+from repro.core.state import RunState
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.sim.device import H100
+from repro.validate import validate_traversal
+
+
+def cfg_for(gpus, blocks, **kw):
+    base = dict(n_blocks=blocks, warps_per_block=4, n_gpus=gpus,
+                hot_size=32, hot_cutoff=8, cold_cutoff=8, flush_batch=8,
+                refill_batch=8, cold_reserve=32, seed=5)
+    base.update(kw)
+    return DiggerBeesConfig(**base)
+
+
+class TestConfig:
+    def test_partition_must_divide(self):
+        with pytest.raises(SimulationError):
+            DiggerBeesConfig(n_blocks=5, n_gpus=2, cold_reserve=256)
+
+    def test_gpu_of_block(self):
+        cfg = cfg_for(2, 8)
+        assert [cfg.gpu_of_block(b) for b in range(8)] == [0] * 4 + [1] * 4
+        assert cfg.blocks_per_gpu == 4
+
+    def test_single_gpu_default(self):
+        assert DiggerBeesConfig().n_gpus == 1
+
+
+class TestStateHelpers:
+    def test_gpu_idle_and_leader(self):
+        g = gen.path_graph(50)
+        state = RunState(g, 0, cfg_for(2, 4), H100)
+        # Root activates block 0 => GPU 0 busy, GPU 1 idle.
+        assert not state.gpu_idle(0)
+        assert state.gpu_idle(1)
+        assert state.gpu_leader_block(0) == 0
+        assert state.gpu_leader_block(1) == 2
+
+    def test_blocks_tagged_with_gpu(self):
+        g = gen.path_graph(50)
+        state = RunState(g, 0, cfg_for(2, 4), H100)
+        assert [b.gpu_id for b in state.blocks] == [0, 0, 1, 1]
+
+
+class TestExecution:
+    def test_correct_tree_across_gpus(self):
+        g = gen.road_network(3000, seed=5)
+        res = run_diggerbees(g, 0, config=cfg_for(2, 8),
+                             check_invariants=True)
+        validate_traversal(g, res.traversal)
+        assert res.n_visited == g.n_vertices
+
+    def test_remote_steals_activate_second_gpu(self):
+        g = gen.road_network(6000, seed=5)
+        res = run_diggerbees(g, 0, config=cfg_for(2, 8, trace=True))
+        c = res.counters
+        assert c.remote_steal_successes > 0
+        # Some block of GPU 1 (blocks 4-7) processed vertices.
+        gpu1_tasks = sum(v for b, v in c.tasks_per_block.items() if b >= 4)
+        assert gpu1_tasks > 0
+
+    def test_remote_steals_only_by_gpu_leader(self):
+        g = gen.road_network(6000, seed=5)
+        res = run_diggerbees(g, 0, config=cfg_for(2, 8, trace=True))
+        remotes = res.trace.filter(kind="steal_remote")
+        assert remotes
+        for ev in remotes:
+            assert ev.block in (0, 4)   # GPU leader blocks only
+            assert ev.warp == 0         # leader warps only
+
+    def test_remote_costlier_than_local_inter(self):
+        assert H100.costs.steal_remote_base > 3 * H100.costs.steal_inter_base
+
+    def test_single_gpu_never_remote(self):
+        g = gen.road_network(3000, seed=5)
+        res = run_diggerbees(g, 0, config=cfg_for(1, 8))
+        assert res.counters.remote_steal_successes == 0
+
+    def test_deterministic(self):
+        g = gen.road_network(2000, seed=5)
+        a = run_diggerbees(g, 0, config=cfg_for(2, 8))
+        b = run_diggerbees(g, 0, config=cfg_for(2, 8))
+        assert a.cycles == b.cycles
+        assert (a.counters.remote_steal_successes
+                == b.counters.remote_steal_successes)
+
+    def test_two_gpus_not_slower_on_big_graph(self):
+        g = gen.road_network(9000, seed=5)
+        one = run_diggerbees(g, 0, config=cfg_for(1, 12, warps_per_block=8))
+        two = run_diggerbees(g, 0, config=cfg_for(2, 24, warps_per_block=8))
+        # Weak-scaling sanity: doubling the machine never badly regresses.
+        assert two.cycles < one.cycles * 1.15

@@ -1,0 +1,323 @@
+"""Unit + property tests for the two-level stack (paper §3.2, Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.twolevel_stack import ColdSeg, HotRing, OneLevelStack, WarpStack
+from repro.errors import SimulationError, StackOverflowError
+
+
+class TestHotRing:
+    def test_empty_full_conditions(self):
+        h = HotRing(4)
+        assert h.is_empty and not h.is_full
+        for i in range(3):  # capacity is size - 1
+            h.push(i, i * 10)
+        assert h.is_full and not h.is_empty
+        assert len(h) == 3
+
+    def test_push_pop_lifo(self):
+        h = HotRing(8)
+        h.push(1, 10)
+        h.push(2, 20)
+        assert h.pop() == (2, 20)
+        assert h.pop() == (1, 10)
+        assert h.is_empty
+
+    def test_paper_figure2c_push(self):
+        """Fig 2(c): push <a|i> at head=0, head becomes 1."""
+        h = HotRing(4)
+        h.push(ord("a"), 42)
+        assert h.head == 1 and h.tail == 0
+        assert h.peek() == (ord("a"), 42)
+
+    def test_paper_figure2d_pop_wraps(self):
+        """Fig 2(d): pop at head=0 wraps to (0+4-1)%4 = 3."""
+        h = HotRing(4)
+        # Fill positions 2, 3 then wrap head to 0 (tail=2 like the figure).
+        h.head = 2
+        h.tail = 2
+        h.push(5, 50)   # pos 2, head 3
+        h.push(6, 60)   # pos 3, head 0
+        assert h.head == 0
+        assert h.pop() == (6, 60)
+        assert h.head == 3
+
+    def test_wraparound_many(self):
+        h = HotRing(5)
+        for round_ in range(7):
+            for i in range(4):
+                h.push(i, round_)
+            for i in reversed(range(4)):
+                assert h.pop() == (i, round_)
+
+    def test_overflow_raises(self):
+        h = HotRing(3)
+        h.push(0, 0)
+        h.push(1, 1)
+        with pytest.raises(StackOverflowError):
+            h.push(2, 2)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            HotRing(4).pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            HotRing(4).peek()
+
+    def test_update_top_offset(self):
+        h = HotRing(4)
+        h.push(7, 1)
+        h.update_top_offset(9)
+        assert h.peek() == (7, 9)
+
+    def test_take_from_tail_oldest_first(self):
+        h = HotRing(8)
+        for i in range(5):
+            h.push(i, i)
+        verts, offs = h.take_from_tail(2)
+        assert list(verts) == [0, 1]
+        assert len(h) == 3
+        assert h.pop() == (4, 4)  # head side untouched
+
+    def test_take_too_many_raises(self):
+        h = HotRing(8)
+        h.push(0, 0)
+        with pytest.raises(SimulationError):
+            h.take_from_tail(2)
+
+    def test_put_batch_preserves_order(self):
+        h = HotRing(8)
+        h.put_batch(np.array([1, 2, 3]), np.array([10, 20, 30]))
+        assert h.pop() == (3, 30)
+        assert h.pop() == (2, 20)
+
+    def test_put_batch_overflow(self):
+        h = HotRing(4)
+        with pytest.raises(StackOverflowError):
+            h.put_batch(np.arange(4), np.arange(4))
+
+    def test_snapshot(self):
+        h = HotRing(6)
+        for i in range(3):
+            h.push(i, i * 2)
+        assert h.snapshot() == [(0, 0), (1, 2), (2, 4)]
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=200),
+           st.integers(min_value=4, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_list_model(self, ops, size):
+        """A HotRing with only owner ops behaves as a bounded LIFO list."""
+        h = HotRing(size)
+        model = []
+        counter = 0
+        for op in ops:
+            if op == "push" and len(model) < size - 1:
+                h.push(counter, counter)
+                model.append((counter, counter))
+                counter += 1
+            elif op == "pop" and model:
+                assert h.pop() == model.pop()
+            assert len(h) == len(model)
+            assert h.is_empty == (not model)
+            assert h.snapshot() == model
+
+
+class TestColdSeg:
+    def test_push_pop(self):
+        c = ColdSeg(4)
+        c.push_batch(np.array([1, 2]), np.array([10, 20]))
+        assert len(c) == 2
+        verts, offs = c.pop_batch(2)
+        assert list(verts) == [1, 2]  # oldest-first
+        assert c.is_empty
+
+    def test_steal_from_bottom(self):
+        c = ColdSeg(8)
+        c.push_batch(np.arange(5), np.arange(5) * 10)
+        verts, _ = c.steal_from_bottom(2)
+        assert list(verts) == [0, 1]
+        assert len(c) == 3
+        verts, _ = c.pop_batch(1)
+        assert list(verts) == [4]  # top untouched
+
+    def test_growth(self):
+        c = ColdSeg(2)
+        c.push_batch(np.arange(100), np.arange(100))
+        assert len(c) == 100
+        assert c.peak_occupancy == 100
+
+    def test_compaction(self):
+        c = ColdSeg(8)
+        c.push_batch(np.arange(6), np.arange(6))
+        c.steal_from_bottom(5)  # bottom = 5, dead prefix dominates
+        c.push_batch(np.arange(10, 17), np.arange(7))
+        assert c.compactions >= 1
+        assert c.snapshot()[0][0] == 5  # surviving entry intact
+
+    def test_pop_too_many(self):
+        c = ColdSeg(4)
+        with pytest.raises(SimulationError):
+            c.pop_batch(1)
+
+    def test_steal_too_many(self):
+        c = ColdSeg(4)
+        c.push_batch(np.array([1]), np.array([1]))
+        with pytest.raises(SimulationError):
+            c.steal_from_bottom(2)
+
+    @given(st.lists(st.tuples(st.sampled_from(["push", "pop", "steal"]),
+                              st.integers(1, 5)), max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_deque_model(self, ops):
+        """ColdSeg behaves as a deque: push/pop at top, steal at bottom."""
+        c = ColdSeg(4)
+        model = []
+        counter = 0
+        for op, k in ops:
+            if op == "push":
+                vals = list(range(counter, counter + k))
+                counter += k
+                c.push_batch(np.array(vals), np.array(vals))
+                model.extend(vals)
+            elif op == "pop" and len(model) >= k:
+                verts, _ = c.pop_batch(k)
+                expect = model[-k:]
+                del model[-k:]
+                assert list(verts) == expect
+            elif op == "steal" and len(model) >= k:
+                verts, _ = c.steal_from_bottom(k)
+                expect = model[:k]
+                del model[:k]
+                assert list(verts) == expect
+            assert len(c) == len(model)
+            assert [v for v, _ in c.snapshot()] == model
+
+
+class TestWarpStack:
+    def make(self, hot_size=8, flush=2, refill=2):
+        return WarpStack(hot_size=hot_size, flush_batch=flush, refill_batch=refill)
+
+    def test_flush_on_full(self):
+        s = self.make()
+        for i in range(7):
+            s.hot.push(i, i)
+        assert s.needs_flush()
+        moved = s.flush()
+        assert moved == 2
+        assert [v for v, _ in s.cold.snapshot()] == [0, 1]  # oldest flushed
+        assert len(s.hot) == 5
+
+    def test_refill_restores_order(self):
+        """Fig 2(e)+(f): flush then refill preserves stack semantics."""
+        s = self.make()
+        for i in range(7):
+            s.hot.push(i, i)
+        s.flush()
+        # Drain hot, then refill from cold.
+        while not s.hot.is_empty:
+            s.hot.pop()
+        assert s.can_refill()
+        moved = s.refill()
+        assert moved == 2
+        # Refill takes the cold TOP (newest flushed = 1) to hot top.
+        assert s.hot.pop() == (1, 1)
+        assert s.hot.pop() == (0, 0)
+
+    def test_paper_figure2e_flush_pointers(self):
+        """Fig 2(e): hot_size=4, batch=2; tail 2 -> 0, top 2 -> 4."""
+        s = WarpStack(hot_size=4, flush_batch=2, refill_batch=2)
+        s.cold.push_batch(np.array([101, 102]), np.array([0, 0]))  # top = 2
+        s.hot.head = 2
+        s.hot.tail = 2
+        s.hot.push(ord("a"), 1)
+        s.hot.push(ord("b"), 2)
+        s.hot.push(ord("c"), 3)  # head = 1, full (tail=2)
+        assert s.needs_flush()
+        s.flush()
+        assert s.hot.tail == 0
+        assert s.cold.top == 4
+
+    def test_total_length(self):
+        s = self.make()
+        for i in range(7):
+            s.hot.push(i, i)
+        s.flush()
+        assert len(s) == 7
+        assert not s.is_empty
+
+    def test_snapshot_combines(self):
+        s = self.make()
+        for i in range(7):
+            s.hot.push(i, i)
+        s.flush()
+        assert [v for v, _ in s.snapshot()] == list(range(7))
+
+    def test_refill_without_cold_raises(self):
+        s = self.make()
+        with pytest.raises(SimulationError):
+            s.refill()
+
+    def test_flush_empty_raises(self):
+        s = self.make()
+        with pytest.raises(SimulationError):
+            s.flush()
+
+    def test_batch_must_fit(self):
+        with pytest.raises(SimulationError):
+            WarpStack(hot_size=4, flush_batch=4, refill_batch=2)
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_property_flush_refill_transparent(self, ops):
+        """With automatic flush/refill, the two-level stack is
+        observationally a plain unbounded LIFO stack."""
+        s = WarpStack(hot_size=8, flush_batch=3, refill_batch=3)
+        model = []
+        counter = 0
+        for op in ops:
+            if op == "push":
+                if s.needs_flush():
+                    s.flush()
+                s.hot.push(counter, counter)
+                model.append(counter)
+                counter += 1
+            else:
+                if s.hot.is_empty and s.can_refill():
+                    s.refill()
+                if model:
+                    v, _ = s.hot.pop()
+                    assert v == model.pop()
+            assert len(s) == len(model)
+
+
+class TestOneLevelStack:
+    def test_lifo(self):
+        s = OneLevelStack()
+        s.push(1, 10)
+        s.push(2, 20)
+        assert s.peek() == (2, 20)
+        s.update_top_offset(25)
+        assert s.pop() == (2, 25)
+        assert s.pop() == (1, 10)
+        assert s.is_empty
+
+    def test_steal_interface(self):
+        s = OneLevelStack()
+        for i in range(5):
+            s.push(i, i)
+        verts, _ = s.take_from_tail(2)
+        assert list(verts) == [0, 1]
+        assert len(s) == 3
+
+    def test_empty_errors(self):
+        s = OneLevelStack()
+        with pytest.raises(SimulationError):
+            s.pop()
+        with pytest.raises(SimulationError):
+            s.peek()
+        with pytest.raises(SimulationError):
+            s.update_top_offset(0)

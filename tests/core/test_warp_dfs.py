@@ -1,0 +1,150 @@
+"""Focused unit tests for the warp-level DFS agent (paper §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DiggerBeesConfig
+from repro.core.state import RunState
+from repro.core.warp_dfs import WARP_WIDTH, WarpAgent
+from repro.graphs import generators as gen
+from repro.graphs.csr import from_adjacency
+from repro.sim.device import H100
+from repro.sim.engine import EventLoop
+
+
+def make_run(graph, root=0, **cfg_kwargs):
+    defaults = dict(n_blocks=1, warps_per_block=2, hot_size=16, hot_cutoff=4,
+                    cold_cutoff=4, flush_batch=4, refill_batch=4,
+                    cold_reserve=16, seed=0)
+    defaults.update(cfg_kwargs)
+    cfg = DiggerBeesConfig(**defaults)
+    state = RunState(graph, root, cfg, H100)
+    agents = [WarpAgent(state, b, w) for b in range(cfg.n_blocks)
+              for w in range(cfg.warps_per_block)]
+    return state, agents
+
+
+def run_to_completion(state, agents):
+    EventLoop(agents, is_terminated=state.is_terminated).run()
+    assert state.pending == 0
+
+
+class TestExpansion:
+    def test_scan_window_is_warp_width(self):
+        """A single step inspects at most 32 neighbours (one warp-wide
+        coalesced window)."""
+        hub_degree = 100
+        g = gen.star_graph(hub_degree + 1)
+        state, agents = make_run(g, hot_size=256, flush_batch=32,
+                                 refill_batch=32, cold_reserve=64)
+        worker = agents[0]
+        # First step expands the hub: claims exactly one leaf and
+        # consumes exactly one edge (first unvisited is at offset 0).
+        worker.step(0)
+        assert state.counters.edges_traversed == 1
+        # Visit all leaves; per step at most one claim happens.
+        for _ in range(3 * hub_degree + 50):
+            if state.is_terminated():
+                break
+            worker.step(0)
+        assert state.counters.vertices_visited == hub_degree + 1
+
+    def test_offset_resumes_mid_row(self):
+        """The <vertex|offset> pair resumes scanning where it stopped."""
+        # Root 0 with neighbours [1, 2]; 1 links back to 0 and 2.
+        g = from_adjacency([[1, 2], [0, 2], [0, 1]])
+        state, agents = make_run(g)
+        worker = agents[0]
+        worker.step(0)  # claims 1, root offset -> 1
+        stack = state.blocks[0].stacks[0]
+        entries = dict(stack.hot.snapshot())
+        assert entries[0] == 1  # root's next neighbour index
+        run_to_completion(state, agents)
+        assert state.counters.vertices_visited == 3
+
+    def test_pop_on_exhausted_row(self):
+        g = gen.path_graph(3)
+        state, agents = make_run(g)
+        run_to_completion(state, agents)
+        assert state.counters.pops == 3
+
+    def test_isolated_root_terminates_fast(self):
+        g = from_adjacency([[], [0]])  # vertex 0 isolated from 1's view
+        state, agents = make_run(g)
+        result = EventLoop(agents, is_terminated=state.is_terminated).run()
+        assert state.counters.vertices_visited == 1
+        assert result.steps < 20
+
+
+class TestOneLevelAblation:
+    def test_v1_pays_global_stack_penalty(self):
+        """The same traversal must cost more cycles with the one-level
+        (global-memory) stack than with the two-level stack."""
+        g = gen.path_graph(600)
+        s1, a1 = make_run(g, two_level=False, enable_inter_steal=False)
+        r1 = EventLoop(a1, is_terminated=s1.is_terminated).run()
+        s2, a2 = make_run(g, two_level=True, enable_inter_steal=False)
+        r2 = EventLoop(a2, is_terminated=s2.is_terminated).run()
+        assert s1.counters.vertices_visited == s2.counters.vertices_visited
+        assert r1.cycles > r2.cycles
+
+    def test_v1_correct_on_cyclic(self):
+        g = gen.small_world(300, k=4, seed=1)
+        state, agents = make_run(g, two_level=False, enable_inter_steal=False)
+        run_to_completion(state, agents)
+        assert state.counters.vertices_visited == 300
+
+
+class TestContentionDebt:
+    def test_debt_charged_and_cleared(self):
+        """A stolen-from warp pays its contention debt on the next step."""
+        g = gen.path_graph(400)
+        state, agents = make_run(g, warps_per_block=4, hot_size=64,
+                                 flush_batch=8, refill_batch=8)
+        victim = agents[0]
+        # Let the victim build a stack.
+        for _ in range(40):
+            victim.step(0)
+        block = state.blocks[0]
+        assert len(block.stacks[0]) >= 4
+        # Thief performs selection then reservation.
+        thief = agents[1]
+        thief.step(0)
+        thief.step(0)
+        assert state.counters.intra_steal_successes == 1
+        assert block.contention_debt[0] == H100.costs.victim_debt_intra
+        cost_with_debt = victim.step(0).cost
+        assert block.contention_debt[0] == 0
+        cost_plain = victim.step(0).cost
+        assert cost_with_debt > cost_plain
+
+    def test_debt_in_full_run_conserved(self):
+        g = gen.road_network(800, seed=4)
+        state, agents = make_run(g, n_blocks=2, warps_per_block=4)
+        run_to_completion(state, agents)
+        for blk in state.blocks:
+            # A terminated run may leave debt on warps that never ran
+            # again, but never negative values.
+            assert all(d >= 0 for d in blk.contention_debt)
+
+
+class TestBackoff:
+    def test_idle_backoff_grows_and_caps(self):
+        g = gen.path_graph(4)  # finishes instantly; peer stays idle
+        state, agents = make_run(g, warps_per_block=2)
+        idler = agents[1]
+        costs = []
+        for _ in range(12):
+            out = idler.step(0)
+            costs.append(out.cost)
+        assert max(costs) <= (H100.costs.idle_backoff_max
+                              + H100.costs.steal_scan_per_warp * 2 + 200)
+        assert costs[-1] >= costs[0]  # monotone growth until the cap
+
+    def test_backoff_resets_after_acquiring_work(self):
+        g = gen.road_network(600, seed=2)
+        state, agents = make_run(g, warps_per_block=2, hot_size=32,
+                                 flush_batch=8, refill_batch=8)
+        run_to_completion(state, agents)
+        # Both warps ended up doing real work (steals reset the backoff).
+        assert len(state.counters.tasks_per_warp) == 2

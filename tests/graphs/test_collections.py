@@ -1,0 +1,87 @@
+"""Unit tests for the named corpus (Table 3/4 stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs import collections as col
+from repro.graphs.properties import connected_components, profile_graph
+
+
+class TestRepresentative:
+    def test_twelve_graphs(self):
+        assert len(col.REPRESENTATIVE_NAMES) == 12
+
+    def test_breakdown_subset(self):
+        assert set(col.BREAKDOWN_NAMES) <= set(col.REPRESENTATIVE_NAMES)
+        assert len(col.BREAKDOWN_NAMES) == 6
+
+    def test_load_unknown(self):
+        with pytest.raises(GraphConstructionError):
+            col.load("nonexistent")
+
+    def test_load_caches(self):
+        a = col.load("amazon")
+        b = col.load("amazon")
+        assert a is b
+
+    def test_clear_cache(self):
+        a = col.load("amazon")
+        col.clear_cache()
+        b = col.load("amazon")
+        assert a is not b
+        assert np.array_equal(a.column_idx, b.column_idx)  # still deterministic
+
+    def test_all_connected(self):
+        for g in col.representative_graphs():
+            comp = connected_components(g)
+            assert int(comp.max()) == 0, f"{g.name} is disconnected"
+
+    def test_groups_cover_three_collections(self):
+        groups = {s.group for s in col.REPRESENTATIVE_SPECS}
+        assert groups == {"dimacs10", "snap", "law"}
+
+    def test_deep_graphs_are_deep(self):
+        """The regime axis of the paper's evaluation must hold."""
+        for name in ("euro_osm", "hugebubbles", "il2010"):
+            p = profile_graph(col.load(name))
+            assert p.regime == "deep", f"{name} measured {p.regime}"
+
+    def test_shallow_graphs_are_shallow(self):
+        for name in ("ljournal", "google", "wiki", "hollywood"):
+            p = profile_graph(col.load(name))
+            assert p.regime == "shallow", f"{name} measured {p.regime}"
+
+    def test_social_graphs_heavy_tailed(self):
+        for name in ("ljournal", "wiki", "hollywood"):
+            p = profile_graph(col.load(name))
+            assert p.heavy_tail, f"{name} lacks a heavy tail"
+
+    def test_scale_grows_graphs(self):
+        small = col.load("amazon", scale=1)
+        big = col.load("amazon", scale=2)
+        assert big.n_vertices > 1.5 * small.n_vertices
+
+
+class TestCorpus:
+    def test_build_corpus_sorted_by_edges(self):
+        corpus = col.build_corpus(sizes=[200, 600])
+        edges = [g.n_edges for g in corpus]
+        assert edges == sorted(edges)
+
+    def test_corpus_spans_groups(self):
+        corpus = col.build_corpus(sizes=[300])
+        groups = {g.meta["group"] for g in corpus}
+        assert groups == {"dimacs10", "snap", "law"}
+
+    def test_corpus_deterministic(self):
+        a = col.build_corpus(sizes=[300])
+        b = col.build_corpus(sizes=[300])
+        assert [g.name for g in a] == [g.name for g in b]
+        assert all(np.array_equal(x.column_idx, y.column_idx)
+                   for x, y in zip(a, b))
+
+    def test_corpus_names_unique(self):
+        corpus = col.build_corpus(sizes=[200, 600])
+        names = [g.name for g in corpus]
+        assert len(names) == len(set(names))

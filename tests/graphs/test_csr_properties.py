@@ -1,0 +1,94 @@
+"""Hypothesis property tests for the CSR substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.csr import from_edges
+from repro.utils.rng import make_rng
+
+
+def random_graph(seed, n_max=80, directed=True):
+    rng = make_rng(seed)
+    n = int(rng.integers(1, n_max))
+    m = int(rng.integers(0, 3 * n))
+    edges = rng.integers(0, n, size=(m, 2))
+    return n, edges
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=60, deadline=None)
+def test_degree_sum_equals_edges(seed):
+    n, edges = random_graph(seed)
+    g = from_edges(n, edges, directed=True)
+    assert int(g.degree().sum()) == g.n_edges
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=60, deadline=None)
+def test_edge_array_roundtrip(seed):
+    """from_edges(edge_array()) reproduces the graph exactly."""
+    n, edges = random_graph(seed)
+    g = from_edges(n, edges, directed=True, dedupe=True)
+    g2 = from_edges(n, g.edge_array(), directed=True)
+    assert np.array_equal(g.row_ptr, g2.row_ptr)
+    assert np.array_equal(g.column_idx, g2.column_idx)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_symmetrize_is_idempotent_and_symmetric(seed):
+    n, edges = random_graph(seed)
+    g = from_edges(n, edges, directed=True)
+    s1 = g.symmetrize()
+    s2 = s1.symmetrize()
+    assert s1.is_symmetric()
+    assert np.array_equal(s1.row_ptr, s2.row_ptr)
+    assert np.array_equal(s1.column_idx, s2.column_idx)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_permute_preserves_structure(seed):
+    n, edges = random_graph(seed)
+    g = from_edges(n, edges, directed=True, dedupe=True)
+    rng = make_rng(seed + 1)
+    perm = rng.permutation(n).astype(np.int64)
+    p = g.permute(perm)
+    assert p.n_edges == g.n_edges
+    # Degree multiset preserved.
+    assert sorted(g.degree().tolist()) == sorted(p.degree().tolist())
+    # Each original edge exists remapped.
+    for u, v in list(g.iter_edges())[:25]:
+        assert p.has_edge(int(perm[u]), int(perm[v]))
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_reverse_preserves_degree_totals(seed):
+    n, edges = random_graph(seed)
+    g = from_edges(n, edges, directed=True, dedupe=True)
+    r = g.reverse()
+    assert r.n_edges == g.n_edges
+    # In-degree of g == out-degree of r.
+    indeg = np.bincount(g.column_idx, minlength=n)
+    assert np.array_equal(indeg, r.degree())
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_mtx_roundtrip_random_graphs(seed):
+    import io
+
+    from repro.graphs.io import read_matrix_market, write_matrix_market
+
+    n, edges = random_graph(seed)
+    g = from_edges(n, edges, directed=True, dedupe=True,
+                   drop_self_loops=True)
+    buf = io.StringIO()
+    write_matrix_market(g, buf)
+    buf.seek(0)
+    back = read_matrix_market(buf)
+    assert np.array_equal(back.row_ptr, g.row_ptr)
+    assert np.array_equal(back.column_idx, g.column_idx)

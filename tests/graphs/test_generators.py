@@ -1,0 +1,195 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs import generators as gen
+from repro.graphs.properties import connected_components, num_bfs_levels
+
+
+def n_components(g):
+    return int(connected_components(g).max()) + 1
+
+
+class TestElementary:
+    def test_path(self):
+        g = gen.path_graph(5)
+        assert g.n_vertices == 5
+        assert g.n_edges == 8
+        assert num_bfs_levels(g, 0) == 5
+
+    def test_path_single_vertex(self):
+        g = gen.path_graph(1)
+        assert g.n_vertices == 1
+        assert g.n_edges == 0
+
+    def test_cycle(self):
+        g = gen.cycle_graph(6)
+        assert g.n_edges == 12
+        assert all(g.degree(v) == 2 for v in range(6))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphConstructionError):
+            gen.cycle_graph(2)
+
+    def test_star(self):
+        g = gen.star_graph(10)
+        assert g.degree(0) == 9
+        assert all(g.degree(v) == 1 for v in range(1, 10))
+
+    def test_complete(self):
+        g = gen.complete_graph(5)
+        assert g.n_edges == 20
+        assert g.is_symmetric()
+
+    def test_binary_tree(self):
+        g = gen.binary_tree(3)
+        assert g.n_vertices == 15
+        assert num_bfs_levels(g, 0) == 4
+
+    def test_binary_tree_depth_zero(self):
+        g = gen.binary_tree(0)
+        assert g.n_vertices == 1
+
+    def test_grid(self):
+        g = gen.grid2d(3, 4)
+        assert g.n_vertices == 12
+        assert num_bfs_levels(g, 0) == 3 + 4 - 1
+
+    def test_grid_diagonal_adds_edges(self):
+        plain = gen.grid2d(4, 4)
+        diag = gen.grid2d(4, 4, diagonal=True)
+        assert diag.n_edges > plain.n_edges
+
+    def test_grid3d(self):
+        g = gen.grid3d(3, 4, 5)
+        assert g.n_vertices == 60
+        # Interior degree 6, corner degree 3.
+        assert g.degree().max() == 6
+        assert g.degree().min() == 3
+        assert num_bfs_levels(g, 0) == 3 + 4 + 5 - 2
+
+    def test_grid3d_single_cell(self):
+        g = gen.grid3d(1, 1, 1)
+        assert g.n_vertices == 1 and g.n_edges == 0
+
+    def test_grid3d_validates(self):
+        with pytest.raises(GraphConstructionError):
+            gen.grid3d(0, 2, 2)
+
+
+class TestRandomFamilies:
+    @pytest.mark.parametrize("builder,kwargs", [
+        (gen.road_network, dict(n_vertices=500)),
+        (gen.delaunay_mesh, dict(n_vertices=300)),
+        (gen.random_geometric, dict(n_vertices=300)),
+        (gen.preferential_attachment, dict(n_vertices=300, m=3)),
+        (gen.small_world, dict(n_vertices=300, k=4)),
+        (gen.web_copy_model, dict(n_vertices=300)),
+        (gen.citation_graph, dict(n_vertices=300)),
+        (gen.co_purchase, dict(n_vertices=300)),
+    ])
+    def test_connected_simple_symmetric(self, builder, kwargs):
+        g = builder(seed=7, **kwargs)
+        assert n_components(g) == 1, f"{g.name} disconnected"
+        assert not g.has_self_loops()
+        assert g.is_symmetric()
+
+    @pytest.mark.parametrize("builder,kwargs", [
+        (gen.road_network, dict(n_vertices=400)),
+        (gen.preferential_attachment, dict(n_vertices=400, m=3)),
+        (gen.rmat, dict(scale=8)),
+        (gen.bubble_mesh, dict(n_bubbles=20, bubble_size=10)),
+    ])
+    def test_deterministic_under_seed(self, builder, kwargs):
+        a = builder(seed=13, **kwargs)
+        b = builder(seed=13, **kwargs)
+        assert np.array_equal(a.row_ptr, b.row_ptr)
+        assert np.array_equal(a.column_idx, b.column_idx)
+
+    def test_different_seeds_differ(self):
+        a = gen.road_network(400, seed=1)
+        b = gen.road_network(400, seed=2)
+        assert not (np.array_equal(a.row_ptr, b.row_ptr)
+                    and np.array_equal(a.column_idx, b.column_idx))
+
+    def test_road_is_deep(self):
+        g = gen.road_network(2500, seed=5)
+        assert num_bfs_levels(g, 0) > 1.2 * np.sqrt(g.n_vertices)
+
+    def test_road_low_degree(self):
+        g = gen.road_network(2000, seed=5)
+        assert g.degree().mean() < 5
+
+    def test_social_is_shallow(self):
+        g = gen.preferential_attachment(2000, m=6, seed=5)
+        assert num_bfs_levels(g, 0) <= 2.5 * np.log2(g.n_vertices)
+
+    def test_social_heavy_tail(self):
+        g = gen.preferential_attachment(2000, m=6, seed=5)
+        deg = g.degree()
+        assert deg.max() > 8 * deg.mean()
+
+    def test_bubble_mesh_deep_and_connected(self):
+        g = gen.bubble_mesh(100, 25, seed=5)
+        assert n_components(g) == 1
+        assert num_bfs_levels(g, 0) > np.sqrt(g.n_vertices)
+
+    def test_rmat_size(self):
+        g = gen.rmat(8, edge_factor=8, seed=3)
+        assert g.n_vertices == 256
+        assert g.n_edges > 256  # after dedupe/self-loop removal
+
+    def test_rmat_directed_mode(self):
+        g = gen.rmat(6, edge_factor=4, seed=3, symmetrize=False)
+        assert g.directed
+
+    def test_citation_dag_mode(self):
+        g = gen.citation_graph(200, seed=3, symmetrize=False)
+        assert g.directed
+        # Every arc points to an earlier paper.
+        for u, v in g.iter_edges():
+            assert v < u
+
+    def test_delaunay_planar_degree(self):
+        g = gen.delaunay_mesh(500, seed=3)
+        # Planar triangulation: average degree < 6 strictly (Euler).
+        assert g.degree().mean() < 6.0
+
+    def test_rgg_radius_override(self):
+        small = gen.random_geometric(200, radius=0.05, seed=3)
+        large = gen.random_geometric(200, radius=0.2, seed=3)
+        assert large.n_edges > small.n_edges
+
+
+class TestValidation:
+    def test_bad_parameters_raise(self):
+        with pytest.raises(GraphConstructionError):
+            gen.road_network(1)
+        with pytest.raises(GraphConstructionError):
+            gen.preferential_attachment(5, m=10)
+        with pytest.raises(GraphConstructionError):
+            gen.small_world(100, k=4, rewire_p=1.5)
+        with pytest.raises(GraphConstructionError):
+            gen.rmat(0)
+        with pytest.raises(GraphConstructionError):
+            gen.binary_tree(-1)
+
+    def test_backbone_connects(self):
+        rng = np.random.default_rng(0)
+        arcs = gen.random_spanning_backbone(50, rng, chain_bias=0.5)
+        assert arcs.shape == (49, 2)
+        # Every vertex > 0 appears as a child exactly once with parent < child.
+        assert np.array_equal(np.sort(arcs[:, 1]), np.arange(1, 50))
+        assert np.all(arcs[:, 0] < arcs[:, 1])
+
+    def test_backbone_locality_window(self):
+        rng = np.random.default_rng(0)
+        arcs = gen.random_spanning_backbone(200, rng, chain_bias=0.0,
+                                            locality_window=5)
+        assert np.all(arcs[:, 1] - arcs[:, 0] <= 5)
+
+    def test_backbone_empty(self):
+        rng = np.random.default_rng(0)
+        assert gen.random_spanning_backbone(1, rng).shape == (0, 2)

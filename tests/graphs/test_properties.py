@@ -1,0 +1,113 @@
+"""Unit tests for graph property analyzers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.properties import (
+    approximate_diameter,
+    bfs_levels,
+    connected_components,
+    degree_statistics,
+    largest_component,
+    num_bfs_levels,
+    profile_graph,
+)
+
+
+class TestBfsLevels:
+    def test_path(self):
+        g = gen.path_graph(5)
+        assert list(bfs_levels(g, 0)) == [0, 1, 2, 3, 4]
+        assert list(bfs_levels(g, 2)) == [2, 1, 0, 1, 2]
+
+    def test_unreachable(self, disconnected_graph):
+        lv = bfs_levels(disconnected_graph, 0)
+        assert lv[3] == -1 and lv[4] == -1 and lv[5] == -1
+        assert lv[1] == 1 and lv[2] == 1
+
+    def test_single_vertex(self):
+        g = gen.path_graph(1)
+        assert list(bfs_levels(g, 0)) == [0]
+        assert num_bfs_levels(g, 0) == 1
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = gen.preferential_attachment(200, m=3, seed=9)
+        G = nx.Graph(list(g.iter_edges()))
+        expected = nx.single_source_shortest_path_length(G, 0)
+        lv = bfs_levels(g, 0)
+        for v, d in expected.items():
+            assert lv[v] == d
+
+    def test_star_levels(self):
+        g = gen.star_graph(50)
+        assert num_bfs_levels(g, 0) == 2
+        assert num_bfs_levels(g, 1) == 3
+
+
+class TestComponents:
+    def test_connected(self, tiny_tree):
+        comp = connected_components(tiny_tree)
+        assert set(comp) == {0}
+
+    def test_disconnected(self, disconnected_graph):
+        comp = connected_components(disconnected_graph)
+        assert comp[0] == comp[1] == comp[2]
+        assert comp[3] == comp[4]
+        assert comp[0] != comp[3]
+        assert len(set(comp)) == 3  # triangle, edge, isolated vertex
+
+    def test_largest_component(self, disconnected_graph):
+        sub, verts = largest_component(disconnected_graph)
+        assert sub.n_vertices == 3
+        assert set(verts) == {0, 1, 2}
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        g = gen.path_graph(30)
+        assert approximate_diameter(g, seed=1) == 29
+
+    def test_cycle_diameter(self):
+        g = gen.cycle_graph(20)
+        assert approximate_diameter(g, seed=1) == 10
+
+    def test_lower_bound(self):
+        g = gen.road_network(500, seed=1)
+        # Double-sweep is a lower bound: at least the eccentricity from 0.
+        assert approximate_diameter(g, seed=1) >= num_bfs_levels(g, 0) - 1
+
+
+class TestDegreeStats:
+    def test_regular(self):
+        g = gen.cycle_graph(10)
+        stats = degree_statistics(g)
+        assert stats["min"] == stats["max"] == 2
+        assert not stats["heavy_tail"]
+
+    def test_heavy_tail_detection(self):
+        g = gen.preferential_attachment(2000, m=5, seed=3)
+        assert degree_statistics(g)["heavy_tail"]
+
+    def test_empty(self):
+        from repro.graphs.csr import from_edges
+
+        g = from_edges(0, [])
+        stats = degree_statistics(g)
+        assert stats["mean"] == 0.0
+
+
+class TestProfile:
+    def test_profile_fields(self, small_road):
+        p = profile_graph(small_road, seed=1)
+        assert p.n_vertices == small_road.n_vertices
+        assert p.n_edges == small_road.n_edges
+        assert p.group == "dimacs10"
+        assert p.regime in ("deep", "mid", "shallow")
+
+    def test_regimes(self):
+        deep = profile_graph(gen.path_graph(400))
+        shallow = profile_graph(gen.star_graph(400))
+        assert deep.regime == "deep"
+        assert shallow.regime == "shallow"

@@ -1,0 +1,74 @@
+"""Unit tests for vertex-ordering transforms."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.properties import bfs_levels
+from repro.graphs.transform import (
+    ORDERINGS,
+    apply_ordering,
+    bfs_relabel,
+    degree_relabel,
+    random_relabel,
+)
+from repro.validate import serial_dfs
+
+
+def edges_as_set(g):
+    return set(map(tuple, g.edge_array().tolist()))
+
+
+class TestRelabelCorrectness:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    def test_isomorphism_preserved(self, small_road, ordering):
+        g, perm = apply_ordering(small_road, ordering, seed=3)
+        assert g.n_vertices == small_road.n_vertices
+        assert g.n_edges == small_road.n_edges
+        # perm maps old edges onto new edges exactly.
+        remapped = {(perm[u], perm[v]) for u, v in small_road.iter_edges()}
+        assert remapped == edges_as_set(g)
+
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    def test_traversal_still_valid(self, small_road, ordering):
+        g, perm = apply_ordering(small_road, ordering, seed=3)
+        r = serial_dfs(g, int(perm[0]))
+        assert r.n_visited == small_road.n_vertices
+
+    def test_unknown_ordering(self, tiny_path):
+        with pytest.raises(ValueError):
+            apply_ordering(tiny_path, "alphabetical")
+
+    def test_natural_is_identity(self, tiny_path):
+        g, perm = apply_ordering(tiny_path, "natural")
+        assert g is tiny_path
+        assert np.array_equal(perm, np.arange(10))
+
+
+class TestSpecificOrders:
+    def test_random_deterministic_by_seed(self, small_road):
+        a, pa = random_relabel(small_road, seed=5)
+        b, pb = random_relabel(small_road, seed=5)
+        assert np.array_equal(pa, pb)
+        c, pc = random_relabel(small_road, seed=6)
+        assert not np.array_equal(pa, pc)
+
+    def test_bfs_relabel_levels_monotone(self, small_road):
+        g, perm = bfs_relabel(small_road, root=0)
+        lv = bfs_levels(g, int(perm[0]))
+        # New ids sorted by level: level array must be nondecreasing.
+        assert np.all(np.diff(lv) >= 0)
+
+    def test_degree_relabel_hubs_first(self, small_social):
+        g, _ = degree_relabel(small_social)
+        deg = g.degree()
+        assert np.all(np.diff(deg) <= 0)
+
+    def test_degree_ascending(self, small_social):
+        g, _ = degree_relabel(small_social, descending=False)
+        deg = g.degree()
+        assert np.all(np.diff(deg) >= 0)
+
+    def test_names_tagged(self, small_road):
+        g, _ = random_relabel(small_road, seed=1)
+        assert g.name.endswith("#rand")

@@ -1,0 +1,50 @@
+"""Unit tests for the calibration-anchor machinery."""
+
+import pytest
+
+from repro.sim.calibration import (
+    CalibrationAnchor,
+    calibration_table,
+    derive_anchors,
+)
+
+
+class TestAnchors:
+    def test_all_within_tolerance(self):
+        """The shipped cost tables must honour every physical anchor;
+        this is the test that catches accidental recalibration."""
+        for anchor in derive_anchors():
+            assert anchor.within_tolerance, (
+                f"{anchor.name}: derived {anchor.derived:.2f} "
+                f"vs target {anchor.target:.2f}"
+            )
+
+    def test_covers_both_devices_and_cpu(self):
+        names = " ".join(a.name for a in derive_anchors())
+        assert "H100" in names and "A100" in names and "Xeon" in names
+
+    def test_cache_amortization_anchor(self):
+        """High-degree rows must be far cheaper per edge than low-degree
+        ones (the Xeon Max row-open model)."""
+        anchors = {a.name: a for a in derive_anchors()}
+        deg3 = anchors["Xeon per-edge latency (deg-3 rows)"]
+        deg30 = anchors["Xeon per-edge latency (deg-30 rows)"]
+        assert deg3.derived > 3 * deg30.derived
+
+    def test_within_tolerance_logic(self):
+        a = CalibrationAnchor("x", "ns", derived=110.0, target=100.0,
+                              tolerance=0.15)
+        assert a.within_tolerance
+        b = CalibrationAnchor("x", "ns", derived=130.0, target=100.0,
+                              tolerance=0.15)
+        assert not b.within_tolerance
+
+    def test_zero_target(self):
+        a = CalibrationAnchor("x", "ns", derived=0.0, target=0.0,
+                              tolerance=0.1)
+        assert a.within_tolerance
+
+    def test_table_renders(self):
+        out = calibration_table()
+        assert "paper target" in out
+        assert "DRIFTED" not in out

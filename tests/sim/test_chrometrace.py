@@ -1,0 +1,76 @@
+"""Unit tests for the Chrome trace exporter."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import DiggerBeesConfig, run_diggerbees
+from repro.graphs import generators as gen
+from repro.sim.chrometrace import chrome_trace_events, export_chrome_trace
+from repro.sim.trace import TraceLog
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    g = gen.road_network(600, seed=1)
+    cfg = DiggerBeesConfig(n_blocks=2, warps_per_block=2, hot_size=16,
+                           hot_cutoff=4, cold_cutoff=4, flush_batch=4,
+                           refill_batch=4, cold_reserve=16, seed=1, trace=True)
+    return run_diggerbees(g, 0, config=cfg)
+
+
+class TestConversion:
+    def test_events_match_trace(self, traced_run):
+        events = chrome_trace_events(traced_run.trace,
+                                     clock_hz=traced_run.device.clock_hz)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == len(traced_run.trace)
+
+    def test_metadata_per_thread(self, traced_run):
+        events = chrome_trace_events(traced_run.trace)
+        metas = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+        threads = {(e["pid"], e["tid"]) for e in metas}
+        active = {(ev.block, ev.warp) for ev in traced_run.trace.events}
+        assert threads == active
+
+    def test_timestamps_microseconds(self, traced_run):
+        clock = traced_run.device.clock_hz
+        events = [e for e in chrome_trace_events(traced_run.trace,
+                                                 clock_hz=clock)
+                  if e["ph"] == "i"]
+        last = max(e["ts"] for e in events)
+        assert last <= traced_run.cycles / clock * 1e6 + 1e-6
+
+    def test_invalid_clock(self, traced_run):
+        with pytest.raises(ValueError):
+            chrome_trace_events(traced_run.trace, clock_hz=0)
+
+    def test_visit_events_coloured(self, traced_run):
+        events = chrome_trace_events(traced_run.trace)
+        visit = next(e for e in events if e.get("cat") == "visit")
+        assert visit["cname"] == "good"
+
+
+class TestExport:
+    def test_to_file(self, tmp_path, traced_run):
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(traced_run.trace, path,
+                                    clock_hz=traced_run.device.clock_hz)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == count
+        assert data["displayTimeUnit"] == "ns"
+
+    def test_to_stream(self, traced_run):
+        buf = io.StringIO()
+        export_chrome_trace(traced_run.trace, buf)
+        buf.seek(0)
+        assert json.load(buf)["traceEvents"]
+
+    def test_requires_trace(self, tmp_path):
+        with pytest.raises(ValueError, match="trace=True"):
+            export_chrome_trace(None, tmp_path / "x.json")
+
+    def test_empty_trace_ok(self, tmp_path):
+        count = export_chrome_trace(TraceLog(), tmp_path / "e.json")
+        assert count == 0

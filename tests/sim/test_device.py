@@ -1,0 +1,87 @@
+"""Unit tests for device models and cost tables."""
+
+import pytest
+
+from repro.sim.device import (
+    A100,
+    H100,
+    XEON_MAX_9462,
+    DeviceSpec,
+    get_device,
+    hotring_smem_bytes,
+    required_stack_bytes,
+    stack_entry_bytes,
+)
+
+
+class TestPresets:
+    def test_table1_sm_counts(self):
+        assert A100.sm_count == 108
+        assert H100.sm_count == 132
+
+    def test_table1_memory(self):
+        assert A100.memory_bytes == 80 * 2**30
+        assert H100.memory_bytes == 64 * 2**30
+
+    def test_cpu_cores(self):
+        assert XEON_MAX_9462.cores == 64
+
+    def test_h100_has_tma_refill_advantage(self):
+        """Paper §3.3: TMA-driven refill ~5% faster; Ampere lacks TMA."""
+        assert H100.costs.refill_base < H100.costs.flush_base
+        assert A100.costs.refill_base == A100.costs.flush_base
+
+    def test_lookup(self):
+        assert get_device("a100") is A100
+        assert get_device("H100") is H100
+        with pytest.raises(KeyError):
+            get_device("V100")
+
+
+class TestScaling:
+    def test_default_blocks_full(self):
+        assert H100.default_blocks() == 132
+        assert A100.default_blocks() == 108
+
+    def test_default_blocks_scaled_keeps_ratio(self):
+        h = H100.default_blocks(0.25)
+        a = A100.default_blocks(0.25)
+        assert h == 33 and a == 27
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            H100.default_blocks(0)
+        with pytest.raises(ValueError):
+            H100.default_blocks(1.5)
+        with pytest.raises(ValueError):
+            XEON_MAX_9462.default_cores(-1)
+
+    def test_cpu_scaled_cores(self):
+        assert XEON_MAX_9462.default_cores(0.125) == 8
+
+    def test_cycles_to_seconds(self):
+        assert H100.cycles_to_seconds(H100.clock_hz) == pytest.approx(1.0)
+
+    def test_scaled_override(self):
+        mini = H100.scaled(sm_count=4)
+        assert mini.sm_count == 4
+        assert H100.sm_count == 132  # frozen original
+
+
+class TestMemoryHelpers:
+    def test_entry_is_eight_bytes(self):
+        assert stack_entry_bytes() == 8
+
+    def test_hotring_fits_smem(self):
+        """Paper defaults (128 entries, up to 32 warps) must fit an SM."""
+        need = hotring_smem_bytes(128, 32)
+        assert need <= H100.shared_mem_per_block
+        assert need <= A100.shared_mem_per_block
+
+    def test_deep_stack_does_not_fit(self):
+        """Paper issue #1: a road-network path of tens of thousands of
+        vertices needs far more stack than shared memory offers."""
+        assert required_stack_bytes(50_000) > H100.shared_mem_per_block
+
+    def test_smem_grows_with_warps(self):
+        assert hotring_smem_bytes(128, 8) > hotring_smem_bytes(128, 4)

@@ -1,0 +1,54 @@
+"""Smoke tests of the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_path(self):
+        """The README's four-line quickstart must work verbatim."""
+        graph = repro.collections.load("amazon")
+        result = repro.diggerbees(graph, root=0)
+        report = repro.validate_traversal(graph, result.traversal)
+        assert result.mteps > 0
+        assert report.tree_valid and report.visited_correct
+
+    def test_diggerbees_kwargs_forwarded(self):
+        from repro.core import DiggerBeesConfig
+
+        g = repro.from_adjacency([[1], [0, 2], [1]])
+        cfg = DiggerBeesConfig(n_blocks=1, warps_per_block=1)
+        res = repro.diggerbees(g, 0, config=cfg, record_order=True)
+        assert list(res.traversal.order) == [0, 1, 2]
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.GraphFormatError, repro.ReproError)
+        assert issubclass(repro.DeadlockError, repro.SimulationError)
+        assert issubclass(repro.SimulationError, repro.ReproError)
+        assert issubclass(repro.MemoryLimitExceeded, repro.ReproError)
+
+    def test_serial_dfs_reexport(self):
+        g = repro.from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1)])
+        r = repro.serial_dfs(g, 0)
+        assert r.n_visited == 3
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.apps
+        import repro.baselines
+        import repro.bench
+        import repro.core
+        import repro.graphs
+        import repro.sim
+        import repro.validate
+
+        assert repro.apps.biconnectivity is not None
+        assert repro.sim.EventLoop is not None

@@ -1,0 +1,99 @@
+"""Unit + property tests for Euler-tour ancestor machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.graphs import generators as gen
+from repro.validate import serial_dfs
+from repro.validate.euler import EulerTour, build_euler_tour
+
+
+def tour_of(graph, root=0):
+    r = serial_dfs(graph, root)
+    return build_euler_tour(r.parent, root, r.visited), r
+
+
+class TestBuild:
+    def test_path_ancestry(self):
+        g = gen.path_graph(6)
+        tour, _ = tour_of(g)
+        for v in range(6):
+            assert tour.is_ancestor(0, v)
+            assert tour.is_ancestor(v, v)
+        assert tour.is_ancestor(2, 5)
+        assert not tour.is_ancestor(5, 2)
+
+    def test_binary_tree_siblings_unrelated(self):
+        g = gen.binary_tree(3)
+        tour, _ = tour_of(g)
+        assert not tour.is_ancestor(1, 2)  # children of the root
+        assert not tour.is_ancestor(2, 1)
+        assert tour.is_ancestor(1, 3)      # 3 is 1's child
+
+    def test_depth_order_is_preorder(self):
+        g = gen.binary_tree(3)
+        tour, r = tour_of(g)
+        assert list(tour.depth_order()) == list(r.order)
+
+    def test_in_tree(self, disconnected_graph):
+        tour, _ = tour_of(disconnected_graph, 0)
+        assert tour.in_tree(1)
+        assert not tour.in_tree(4)
+
+    def test_query_outside_tree_raises(self, disconnected_graph):
+        tour, _ = tour_of(disconnected_graph, 0)
+        with pytest.raises(ValidationError):
+            tour.is_ancestor(0, 4)
+
+
+class TestErrors:
+    def test_cycle_detected(self):
+        parent = np.array([-1, 2, 1], dtype=np.int64)
+        visited = np.array([True, True, True])
+        with pytest.raises(ValidationError, match="unreachable|cycle"):
+            build_euler_tour(parent, 0, visited)
+
+    def test_root_must_be_visited(self):
+        with pytest.raises(ValidationError):
+            build_euler_tour(np.array([-1]), 0, np.array([False]))
+
+    def test_root_parent_must_be_negative(self):
+        parent = np.array([1, -1], dtype=np.int64)
+        visited = np.array([True, True])
+        with pytest.raises(ValidationError, match="negative"):
+            build_euler_tour(parent, 0, visited)
+
+    def test_unvisited_parent_rejected(self):
+        parent = np.array([-1, 2, -2], dtype=np.int64)
+        visited = np.array([True, True, False])
+        with pytest.raises(ValidationError, match="unvisited parent"):
+            build_euler_tour(parent, 0, visited)
+
+    def test_root_out_of_range(self):
+        with pytest.raises(ValidationError):
+            build_euler_tour(np.array([-1]), 5, np.array([True]))
+
+
+class TestPropertyAgainstChainWalk:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_parent_chain_walk(self, seed):
+        """Euler ancestry must agree with walking the parent chain."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 60))
+        g = gen.preferential_attachment(max(n, 5), m=2, seed=seed)
+        tour, r = tour_of(g)
+        for _ in range(10):
+            u = int(rng.integers(0, g.n_vertices))
+            v = int(rng.integers(0, g.n_vertices))
+            # Walk v's chain to see if u appears.
+            cur, found = v, False
+            while cur >= 0:
+                if cur == u:
+                    found = True
+                    break
+                cur = int(r.parent[cur])
+            assert tour.is_ancestor(u, v) == found

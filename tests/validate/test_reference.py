@@ -1,0 +1,94 @@
+"""Unit tests for the reference serial DFS (paper Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.validate.reference import (
+    ROOT_PARENT,
+    UNVISITED_PARENT,
+    dfs_discovery_order,
+    reachable_mask,
+    serial_dfs,
+)
+
+
+class TestSerialDfs:
+    def test_paper_figure1_order(self, paper_example_graph):
+        """Figure 1(b): serial DFS visits a,b,d,e,c,f lexicographically."""
+        r = serial_dfs(paper_example_graph, 0)
+        assert list(r.order) == [0, 1, 3, 4, 2, 5]
+        assert r.parent[1] == 0    # b <- a
+        assert r.parent[3] == 1    # d <- b
+        assert r.parent[4] == 3    # e <- d
+        assert r.parent[2] == 4    # c <- e
+        assert r.parent[5] == 2    # f <- c
+
+    def test_path_graph(self):
+        g = gen.path_graph(6)
+        r = serial_dfs(g, 0)
+        assert list(r.order) == [0, 1, 2, 3, 4, 5]
+        assert all(r.parent[v] == v - 1 for v in range(1, 6))
+
+    def test_root_conventions(self, tiny_tree):
+        r = serial_dfs(tiny_tree, 0)
+        assert r.parent[0] == ROOT_PARENT
+        assert r.visited[0]
+
+    def test_unreachable_marked(self, disconnected_graph):
+        r = serial_dfs(disconnected_graph, 0)
+        assert not r.visited[3]
+        assert r.parent[3] == UNVISITED_PARENT
+        assert r.n_visited == 3
+
+    def test_visits_reachable_exactly(self, small_road):
+        r = serial_dfs(small_road, 0)
+        assert np.array_equal(r.visited, reachable_mask(small_road, 0))
+
+    def test_edge_count_is_degree_sum_of_visited(self, small_social):
+        r = serial_dfs(small_social, 0)
+        deg = small_social.degree()
+        assert r.edges_traversed == int(deg[r.visited].sum())
+
+    def test_single_vertex(self):
+        g = gen.path_graph(1)
+        r = serial_dfs(g, 0)
+        assert r.n_visited == 1
+        assert r.edges_traversed == 0
+
+    def test_root_out_of_range(self, tiny_path):
+        from repro.errors import GraphFormatError
+
+        with pytest.raises(GraphFormatError):
+            serial_dfs(tiny_path, 99)
+
+    def test_deterministic(self, small_road):
+        a = serial_dfs(small_road, 5)
+        b = serial_dfs(small_road, 5)
+        assert np.array_equal(a.order, b.order)
+        assert np.array_equal(a.parent, b.parent)
+
+    def test_different_roots_cover_same_component(self, small_road):
+        a = serial_dfs(small_road, 0)
+        b = serial_dfs(small_road, 17)
+        assert np.array_equal(a.visited, b.visited)  # connected graph
+
+    def test_matches_networkx_tree_size(self):
+        nx = pytest.importorskip("networkx")
+        g = gen.delaunay_mesh(150, seed=4)
+        G = nx.Graph(list(g.iter_edges()))
+        r = serial_dfs(g, 0)
+        assert r.n_visited == len(nx.node_connected_component(G, 0))
+
+
+class TestHelpers:
+    def test_discovery_order(self, paper_example_graph):
+        r = serial_dfs(paper_example_graph, 0)
+        rank = dfs_discovery_order(r.parent, r.order)
+        assert rank[0] == 0
+        assert rank[1] == 1
+        assert rank[5] == 5
+
+    def test_reachable_mask(self, disconnected_graph):
+        mask = reachable_mask(disconnected_graph, 3)
+        assert list(np.flatnonzero(mask)) == [3, 4]

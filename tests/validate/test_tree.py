@@ -1,0 +1,159 @@
+"""Unit tests for the DFS-tree validators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs import generators as gen
+from repro.graphs.csr import from_edges
+from repro.validate.reference import (
+    ROOT_PARENT,
+    UNVISITED_PARENT,
+    TraversalResult,
+    serial_dfs,
+)
+from repro.validate.tree import (
+    check_lexicographic,
+    check_tree_validity,
+    check_visited_matches_reachable,
+    dfs_property_violations,
+    validate_traversal,
+)
+
+
+def make_result(graph, root, parent, visited):
+    return TraversalResult(
+        root=root,
+        visited=np.asarray(visited, dtype=bool),
+        parent=np.asarray(parent, dtype=np.int64),
+        order=np.empty(0, dtype=np.int64),
+    )
+
+
+class TestTreeValidity:
+    def test_serial_result_passes(self, small_road):
+        r = serial_dfs(small_road, 0)
+        check_tree_validity(small_road, r)
+
+    def test_root_not_visited(self, tiny_path):
+        r = make_result(tiny_path, 0, [ROOT_PARENT] + [UNVISITED_PARENT] * 9,
+                        [False] * 10)
+        with pytest.raises(ValidationError, match="root"):
+            check_tree_validity(tiny_path, r)
+
+    def test_wrong_root_parent(self, tiny_path):
+        parent = [5] + [UNVISITED_PARENT] * 9
+        visited = [True] + [False] * 9
+        r = make_result(tiny_path, 0, parent, visited)
+        with pytest.raises(ValidationError, match="parent\\[root\\]"):
+            check_tree_validity(tiny_path, r)
+
+    def test_phantom_edge_rejected(self):
+        g = gen.path_graph(4)
+        # Claim parent[3] = 0, but (0,3) is not an edge.
+        parent = [ROOT_PARENT, 0, 1, 0]
+        r = make_result(g, 0, parent, [True] * 4)
+        with pytest.raises(ValidationError, match="not a graph edge"):
+            check_tree_validity(g, r)
+
+    def test_unvisited_parent_pointer_rejected(self):
+        g = gen.path_graph(3)
+        parent = [ROOT_PARENT, UNVISITED_PARENT, 1]
+        visited = [True, False, True]
+        r = make_result(g, 0, parent, visited)
+        with pytest.raises(ValidationError, match="not visited"):
+            check_tree_validity(g, r)
+
+    def test_unvisited_with_parent_rejected(self):
+        g = gen.path_graph(3)
+        parent = [ROOT_PARENT, 0, 1]
+        visited = [True, True, False]
+        r = make_result(g, 0, parent, visited)
+        with pytest.raises(ValidationError, match="unvisited"):
+            check_tree_validity(g, r)
+
+    def test_cycle_in_parents_rejected(self):
+        g = gen.cycle_graph(4)
+        # 1 -> 2 -> 1 cycle, disconnected from root.
+        parent = [ROOT_PARENT, 2, 1, UNVISITED_PARENT]
+        visited = [True, True, True, False]
+        r = make_result(g, 0, parent, visited)
+        with pytest.raises(ValidationError, match="does not reach the root"):
+            check_tree_validity(g, r)
+
+    def test_shape_mismatch(self, tiny_path):
+        r = TraversalResult(root=0, visited=np.ones(10, bool),
+                            parent=np.zeros(3, np.int64),
+                            order=np.empty(0, np.int64))
+        with pytest.raises(ValidationError, match="shape"):
+            check_tree_validity(tiny_path, r)
+
+
+class TestVisitedCheck:
+    def test_missing_vertex(self, tiny_path):
+        r = serial_dfs(tiny_path, 0)
+        broken = TraversalResult(root=0, visited=r.visited.copy(),
+                                 parent=r.parent, order=r.order)
+        broken.visited[9] = False
+        with pytest.raises(ValidationError, match="mismatch"):
+            check_visited_matches_reachable(tiny_path, broken)
+
+    def test_extra_vertex(self, disconnected_graph):
+        r = serial_dfs(disconnected_graph, 0)
+        broken = TraversalResult(root=0, visited=r.visited.copy(),
+                                 parent=r.parent, order=r.order)
+        broken.visited[4] = True
+        with pytest.raises(ValidationError, match="mismatch"):
+            check_visited_matches_reachable(disconnected_graph, broken)
+
+
+class TestDfsProperty:
+    def test_serial_dfs_has_zero_violations(self, small_road, small_social):
+        for g in (small_road, small_social):
+            r = serial_dfs(g, 0)
+            assert dfs_property_violations(g, r) == 0.0
+
+    def test_cross_edge_detected(self):
+        """Triangle 0-1, 0-2, 1-2 with both 1 and 2 children of 0: the
+        edge (1,2) joins siblings — a DFS-property violation."""
+        edges = [(0, 1), (0, 2), (1, 2)]
+        both = edges + [(v, u) for u, v in edges]
+        g = from_edges(3, both)
+        parent = [ROOT_PARENT, 0, 0]
+        r = make_result(g, 0, parent, [True] * 3)
+        check_tree_validity(g, r)  # still a valid spanning tree
+        assert dfs_property_violations(g, r) == 1.0
+
+    def test_tree_graph_never_violates(self, tiny_tree):
+        r = serial_dfs(tiny_tree, 0)
+        assert dfs_property_violations(tiny_tree, r) == 0.0
+
+
+class TestLexicographic:
+    def test_serial_passes(self, paper_example_graph):
+        r = serial_dfs(paper_example_graph, 0)
+        check_lexicographic(paper_example_graph, r)
+
+    def test_valid_but_nonlex_tree_fails(self, paper_example_graph):
+        """Figure 1(c): a valid parallel DFS tree that is not lexicographic."""
+        # One processor walks a->b->d, another c->e / c->f (c rooted at a).
+        parent = [ROOT_PARENT, 0, 0, 1, 2, 2]
+        r = make_result(paper_example_graph, 0, parent, [True] * 6)
+        check_tree_validity(paper_example_graph, r)
+        with pytest.raises(ValidationError, match="lexicographic"):
+            check_lexicographic(paper_example_graph, r)
+
+
+class TestValidateTraversal:
+    def test_full_report(self, small_road):
+        r = serial_dfs(small_road, 0)
+        rep = validate_traversal(small_road, r, check_lex=True)
+        assert rep.tree_valid and rep.visited_correct
+        assert rep.dfs_violation_fraction == 0.0
+        assert rep.lexicographic is True
+        assert rep.strict_dfs
+
+    def test_lex_not_checked_by_default(self, small_road):
+        r = serial_dfs(small_road, 0)
+        rep = validate_traversal(small_road, r)
+        assert rep.lexicographic is None
