@@ -6,9 +6,16 @@ Usage::
     python -m repro.bench fig6 fig8           # selected experiments
     python -m repro.bench table2 --out out/   # archive to a directory
     python -m repro.bench fig5 --quick        # shrunken corpus
+    python -m repro.bench fig5 --jobs 4       # parallel sweep workers
+    python -m repro.bench micro --quick       # engine perf-smoke gate
+    python -m repro.bench fig7 --profile p.out  # cProfile the run
 
 Each experiment prints its paper-shaped table to stdout and, with
-``--out``, writes it to ``<out>/<name>.txt``.
+``--out``, writes it to ``<out>/<name>.txt``.  ``micro`` is special: it
+runs the fixed engine micro-sweep, writes ``BENCH_engine.json``, and
+fails when the run regresses >2x against the recorded baseline (see
+:mod:`repro.bench.micro`; it takes its own flags such as
+``--update-baseline``).
 """
 
 from __future__ import annotations
@@ -110,35 +117,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fraction of the real machines to simulate")
     parser.add_argument("--roots", type=int, default=2,
                         help="source vertices per graph (paper uses 64)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sweep fan-out "
+                             "(results are identical for any value)")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="dump cProfile stats of the experiment run "
+                             "to PATH (inspect with python -m pstats)")
     return parser
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "micro":
+        # The micro-sweep has its own flags (baseline gating); delegate.
+        from repro.bench.micro import main as micro_main
+
+        return micro_main(argv[1:])
+
     args = build_parser().parse_args(argv)
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
-              f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+              f"available: {', '.join(EXPERIMENTS)}, micro", file=sys.stderr)
         return 2
 
     cfg = BenchConfig(sim_scale=args.sim_scale, n_roots=args.roots,
-                      seed=args.seed)
+                      seed=args.seed, jobs=args.jobs)
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
     if args.csv:
         args.csv.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        start = time.time()
-        if name in CSV_CAPABLE:
-            text = EXPERIMENTS[name](cfg, args.quick, csv_dir=args.csv)
-        else:
-            text = EXPERIMENTS[name](cfg, args.quick)
-        elapsed = time.time() - start
-        print(text)
-        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
-        if args.out:
-            (args.out / f"{name}.txt").write_text(text + "\n")
+    from repro.utils.profiling import profile_to
+
+    with profile_to(args.profile):
+        for name in names:
+            start = time.time()
+            if name in CSV_CAPABLE:
+                text = EXPERIMENTS[name](cfg, args.quick, csv_dir=args.csv)
+            else:
+                text = EXPERIMENTS[name](cfg, args.quick)
+            elapsed = time.time() - start
+            print(text)
+            print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+            if args.out:
+                (args.out / f"{name}.txt").write_text(text + "\n")
+    if args.profile:
+        print(f"[cProfile stats written to {args.profile}]")
     return 0
 
 

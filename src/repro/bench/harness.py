@@ -35,6 +35,7 @@ __all__ = [
     "ALL_METHODS",
     "run_method",
     "run_graph",
+    "run_sweep",
     "MethodSummary",
     "summarize_method",
     "geomean_speedup",
@@ -59,6 +60,10 @@ class BenchConfig:
     device: DeviceSpec = H100
     diggerbees_version: int = 4
     victim_policy: str = "two_choice"
+    #: Worker processes for sweep fan-out (1 = in-process, no pool).
+    #: Results are jobs-invariant: every sample is a pure function of
+    #: (method, graph, root, cfg) and collection preserves task order.
+    jobs: int = 1
 
     def with_(self, **kwargs) -> "BenchConfig":
         return replace(self, **kwargs)
@@ -187,17 +192,94 @@ def run_method(method: str, graph: CSRGraph, root: int,
     return ALL_METHODS[method](graph, root, cfg)
 
 
+def _execute_task(task) -> PerfSample:
+    """Module-level worker (picklable) for the process-pool fan-out."""
+    method, graph, root, cfg = task
+    return ALL_METHODS[method](graph, root, cfg)
+
+
+def _fan_out(tasks: List[tuple], jobs: int) -> List[PerfSample]:
+    """Run (method, graph, root, cfg) tasks, preserving task order.
+
+    Every task is an independent, deterministic simulation — each method
+    derives its randomness from ``cfg.seed`` (and the per-sample stream
+    identified by (method, graph, root), cf. ``utils.rng.derive_seed`` in
+    ``pick_roots``) — so executing them across a
+    :class:`~concurrent.futures.ProcessPoolExecutor` and collecting with
+    order-preserving ``Executor.map`` yields byte-identical aggregates
+    for any ``jobs`` value.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_execute_task(t) for t in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_execute_task, tasks))
+
+
 def run_graph(methods: Sequence[str], graph: CSRGraph,
               cfg: Optional[BenchConfig] = None,
               roots: Optional[Sequence[int]] = None,
+              jobs: Optional[int] = None,
               ) -> Dict[str, List[PerfSample]]:
-    """Run several methods over the same root set on one graph."""
+    """Run several methods over the same root set on one graph.
+
+    ``jobs`` (default: ``cfg.jobs``) > 1 fans the independent
+    (method, root) samples across worker processes; results are
+    identical to the serial path (see :func:`_fan_out`).
+    """
     cfg = cfg or BenchConfig()
     roots = list(roots) if roots is not None else pick_roots(graph, cfg)
+    n_jobs = cfg.jobs if jobs is None else jobs
+    unknown = [m for m in methods if m not in ALL_METHODS]
+    if unknown:
+        raise BenchmarkError(
+            f"unknown method(s) {unknown}; available: {sorted(ALL_METHODS)}"
+        )
+    tasks = [(m, graph, r, cfg) for m in methods for r in roots]
+    flat = _fan_out(tasks, n_jobs)
+    n = len(roots)
     return {
-        m: [run_method(m, graph, r, cfg) for r in roots]
-        for m in methods
+        m: flat[i * n:(i + 1) * n]
+        for i, m in enumerate(methods)
     }
+
+
+def run_sweep(methods: Sequence[str], graphs: Sequence[CSRGraph],
+              cfg: Optional[BenchConfig] = None,
+              jobs: Optional[int] = None,
+              ) -> Dict[str, Dict[str, List[PerfSample]]]:
+    """Run a full (graph x method x root) sweep, optionally in parallel.
+
+    Fans *all* samples of the sweep into one task list so the pool stays
+    saturated across graph boundaries (a per-graph pool would drain at
+    each graph's tail).  Returns ``{graph.name: {method: [samples]}}``
+    with the same contents for any ``jobs`` value.
+    """
+    cfg = cfg or BenchConfig()
+    n_jobs = cfg.jobs if jobs is None else jobs
+    unknown = [m for m in methods if m not in ALL_METHODS]
+    if unknown:
+        raise BenchmarkError(
+            f"unknown method(s) {unknown}; available: {sorted(ALL_METHODS)}"
+        )
+    per_graph_roots = [pick_roots(g, cfg) for g in graphs]
+    tasks = [
+        (m, g, r, cfg)
+        for g, roots in zip(graphs, per_graph_roots)
+        for m in methods
+        for r in roots
+    ]
+    flat = _fan_out(tasks, n_jobs)
+    out: Dict[str, Dict[str, List[PerfSample]]] = {}
+    i = 0
+    for g, roots in zip(graphs, per_graph_roots):
+        per_method: Dict[str, List[PerfSample]] = {}
+        for m in methods:
+            per_method[m] = flat[i:i + len(roots)]
+            i += len(roots)
+        out[g.name] = per_method
+    return out
 
 
 # ---------------------------------------------------------------------------

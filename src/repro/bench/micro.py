@@ -1,0 +1,200 @@
+"""Fixed engine micro-sweep with machine-readable output.
+
+``python -m repro.bench micro`` runs four fixed DiggerBees simulations
+(two road networks, a preferential-attachment graph and a Delaunay mesh
+— the structural regimes that stress different engine paths), and writes
+``BENCH_engine.json`` with wall-time, simulated cycles, and steps/sec
+per case.  That file seeds the performance trajectory: future perf PRs
+compare against the recorded baseline
+(``benchmarks/baseline_micro.json``) and the run **fails** when
+
+* any case regresses more than ``REGRESSION_FACTOR`` (2x) in wall time
+  (the perf-smoke gate), or
+* any case's simulated ``cycles``/``steps`` differ from the baseline —
+  the determinism contract (same seed => identical schedule) has been
+  broken, which is a correctness bug, not a perf regression.
+
+The sweep is intentionally single-process so the numbers measure the
+engine fast path, not pool scaling; repeat counts are small because only
+the per-case *minimum* wall time is compared (robust to scheduler
+noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import DiggerBeesConfig
+from repro.core.diggerbees import run_diggerbees
+from repro.graphs import generators as gen
+from repro.utils.profiling import PhaseTimer, profile_to, steps_per_second
+
+__all__ = [
+    "MICRO_CASES",
+    "REGRESSION_FACTOR",
+    "run_micro",
+    "check_against_baseline",
+    "main",
+]
+
+#: Wall-time factor over baseline at which the perf-smoke gate fails.
+REGRESSION_FACTOR = 2.0
+
+#: (name, graph builder, engine config) — fixed forever; changing a case
+#: invalidates the recorded baseline.
+MICRO_CASES: Tuple[Tuple[str, Callable, DiggerBeesConfig], ...] = (
+    ("road1000", lambda: gen.road_network(1000, seed=1),
+     DiggerBeesConfig(n_blocks=4, warps_per_block=4, seed=1)),
+    ("road2500", lambda: gen.road_network(2500, seed=2),
+     DiggerBeesConfig(n_blocks=4, warps_per_block=4, seed=2)),
+    ("pa2000", lambda: gen.preferential_attachment(2000, m=6, seed=3),
+     DiggerBeesConfig(n_blocks=8, warps_per_block=4, seed=3)),
+    ("mesh1500", lambda: gen.delaunay_mesh(1500, seed=4),
+     DiggerBeesConfig(n_blocks=4, warps_per_block=8, seed=4)),
+)
+
+
+def run_micro(repeats: int = 3,
+              profile_path: Optional[str] = None) -> Dict:
+    """Run the fixed micro-sweep; returns the ``BENCH_engine.json`` payload.
+
+    Per case: best-of-``repeats`` wall time, plus the (deterministic)
+    simulated cycles and step count.  Graph generation is timed as its
+    own phase and excluded from per-case wall times.
+    """
+    timer = PhaseTimer()
+    cases: List[Dict] = []
+    with profile_to(profile_path):
+        for name, build, cfg in MICRO_CASES:
+            with timer.phase("generate"):
+                graph = build()
+            best_wall = float("inf")
+            result = None
+            with timer.phase("simulate"):
+                for _ in range(max(1, repeats)):
+                    t0 = time.perf_counter()
+                    result = run_diggerbees(graph, 0, config=cfg)
+                    best_wall = min(best_wall, time.perf_counter() - t0)
+            cases.append({
+                "name": name,
+                "wall_seconds": best_wall,
+                "cycles": result.cycles,
+                "steps": result.engine.steps,
+                "steps_per_second": steps_per_second(result.engine.steps,
+                                                     best_wall),
+            })
+    return {
+        "bench": "engine_micro",
+        "repeats": repeats,
+        "cases": cases,
+        "total_wall_seconds": sum(c["wall_seconds"] for c in cases),
+        "phases": timer.as_dict(),
+    }
+
+
+def check_against_baseline(result: Dict, baseline: Dict,
+                           factor: float = REGRESSION_FACTOR) -> List[str]:
+    """Compare a run against the recorded baseline; returns problems.
+
+    An empty list means the gate passes.  Determinism mismatches
+    (cycles/steps) and >``factor`` wall-time regressions are reported;
+    cases absent from the baseline are ignored (new cases need a baseline
+    update first).
+    """
+    problems: List[str] = []
+    base_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    for case in result["cases"]:
+        base = base_cases.get(case["name"])
+        if base is None:
+            continue
+        if case["cycles"] != base["cycles"] or case["steps"] != base["steps"]:
+            problems.append(
+                f"{case['name']}: schedule drift — cycles/steps "
+                f"{case['cycles']}/{case['steps']} vs baseline "
+                f"{base['cycles']}/{base['steps']} (determinism contract "
+                f"broken)"
+            )
+        limit = base["wall_seconds"] * factor
+        if case["wall_seconds"] > limit:
+            problems.append(
+                f"{case['name']}: wall time {case['wall_seconds']:.4f}s "
+                f"exceeds {factor:.1f}x baseline "
+                f"({base['wall_seconds']:.4f}s)"
+            )
+    return problems
+
+
+def default_baseline_path() -> pathlib.Path:
+    """``benchmarks/baseline_micro.json`` relative to the repo root."""
+    return (pathlib.Path(__file__).resolve().parents[3]
+            / "benchmarks" / "baseline_micro.json")
+
+
+def render(result: Dict) -> str:
+    lines = [f"{'case':<10s} {'wall(s)':>9s} {'cycles':>10s} {'steps':>7s} "
+             f"{'steps/s':>10s}"]
+    for c in result["cases"]:
+        lines.append(
+            f"{c['name']:<10s} {c['wall_seconds']:9.4f} {c['cycles']:>10d} "
+            f"{c['steps']:>7d} {c['steps_per_second']:>10.0f}"
+        )
+    lines.append(f"total wall: {result['total_wall_seconds']:.4f}s")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench micro",
+        description="Fixed engine micro-sweep (perf-smoke gate).",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="single repeat per case")
+    parser.add_argument("--json", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_engine.json"),
+                        help="output path for the machine-readable result")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="baseline JSON to gate against "
+                             "(default: benchmarks/baseline_micro.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with this run's numbers")
+    parser.add_argument("--no-check", action="store_true",
+                        help="emit results without gating")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="dump cProfile stats of the sweep to PATH")
+    args = parser.parse_args(argv)
+
+    result = run_micro(repeats=1 if args.quick else 3,
+                       profile_path=args.profile)
+    args.json.write_text(json.dumps(result, indent=1) + "\n")
+    print(render(result))
+    print(f"[wrote {args.json}]")
+
+    baseline_path = args.baseline or default_baseline_path()
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(result, indent=1) + "\n")
+        print(f"[baseline updated: {baseline_path}]")
+        return 0
+    if args.no_check:
+        return 0
+    if not baseline_path.exists():
+        print(f"[no baseline at {baseline_path}; run with --update-baseline "
+              f"to record one]", file=sys.stderr)
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    problems = check_against_baseline(result, baseline)
+    if problems:
+        for p in problems:
+            print(f"PERF-SMOKE FAIL: {p}", file=sys.stderr)
+        return 1
+    print(f"[perf-smoke OK vs {baseline_path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from dataclasses import dataclass, replace
 
 from repro.errors import SimulationError
 from repro.sim.device import DeviceSpec, H100, hotring_smem_bytes
+from repro.sim.engine import SCHEDULERS
 
 __all__ = ["DiggerBeesConfig", "VICTIM_POLICIES"]
 
@@ -66,6 +67,16 @@ class DiggerBeesConfig:
         multi-GPU systems the paper's related work cites).
     seed:
         Seed for victim sampling; runs are fully deterministic given it.
+    scheduler:
+        Event-loop implementation: ``"auto"`` (default, the bucketed
+        calendar queue), ``"calendar"``, or ``"heap"``.  All produce
+        bit-for-bit identical schedules; the knob exists so the golden
+        determinism tests can cross-check them.
+    fastpath:
+        Use the vectorized expand fast path in :class:`WarpAgent`
+        (default).  ``False`` selects the reference NumPy implementation;
+        both produce identical cycles, steps, and DFS trees — the golden
+        determinism tests assert it.
     """
 
     n_blocks: int = 4
@@ -85,6 +96,8 @@ class DiggerBeesConfig:
     seed: int = 0
     trace: bool = False
     max_cycles: int = 200_000_000_000
+    scheduler: str = "auto"
+    fastpath: bool = True
 
     def __post_init__(self) -> None:
         if self.n_blocks < 1:
@@ -126,6 +139,11 @@ class DiggerBeesConfig:
             raise SimulationError(
                 f"flush_policy must be 'tail' or 'head', "
                 f"got {self.flush_policy!r}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"scheduler must be one of {SCHEDULERS}, "
+                f"got {self.scheduler!r}"
             )
         if self.cold_reserve < self.cold_cutoff:
             raise SimulationError(

@@ -113,6 +113,7 @@ def run_diggerbees(
         agents,
         is_terminated=state.is_terminated,
         max_cycles=config.max_cycles,
+        scheduler=config.scheduler,
     )
     engine = loop.run()
 

@@ -63,6 +63,7 @@ def _sample_active_blocks(state: RunState, my_block: int,
     else:
         lo = gpu_id * cfg.blocks_per_gpu
         hi = lo + cfg.blocks_per_gpu
+    blocks = state.blocks
     found = []
     attempts = 0
     max_attempts = 4 * k + 8
@@ -71,7 +72,7 @@ def _sample_active_blocks(state: RunState, my_block: int,
         b = int(rng.integers(lo, hi))
         if b == my_block:
             continue
-        if not state.blocks[b].idle:
+        if blocks[b].active_mask:  # inlined `not .idle`
             found.append(b)
     return found
 

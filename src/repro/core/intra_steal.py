@@ -59,10 +59,20 @@ def select_victim(state: RunState, block: BlockState,
     cutoff = state.config.hot_cutoff
     best_rest = 0
     best_warp = -1
+    stacks = block.stacks
     for w in range(block.n_warps):
         if w == thief_warp:
             continue
-        rest = _hot_rest(block.stacks[w])
+        # Inlined _hot_rest: this scan runs on every idle step of every
+        # warp with an active peer, so it avoids the per-peer call chain.
+        s = stacks[w]
+        if type(s) is WarpStack:
+            hot = s.hot
+            rest = hot.head - hot.tail
+            if rest < 0:
+                rest += hot.size
+        else:
+            rest = len(s)
         if rest > best_rest:
             best_rest = rest
             best_warp = w

@@ -113,7 +113,8 @@ def run_diggerbees_multi(
         for w in range(config.warps_per_block)
     ]
     engine = EventLoop(agents, is_terminated=state.is_terminated,
-                       max_cycles=config.max_cycles).run()
+                       max_cycles=config.max_cycles,
+                       scheduler=config.scheduler).run()
     if state.pending != 0:
         raise SimulationError(
             f"multi-source run stopped with {state.pending} entries pending"

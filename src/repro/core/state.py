@@ -62,7 +62,17 @@ class BlockState:
 
     def workload(self) -> int:
         """Cumulative pending entries in the block (two-choice load signal)."""
-        return sum(len(s) for s in self.stacks)
+        total = 0
+        for s in self.stacks:
+            if type(s) is WarpStack:  # inlined len(hot) + len(cold)
+                hot, cold = s.hot, s.cold
+                d = hot.head - hot.tail
+                if d < 0:
+                    d += hot.size
+                total += d + cold.top - cold.bottom
+            else:
+                total += len(s)
+        return total
 
     def cold_rest(self, warp: int) -> int:
         """Remaining ColdSeg entries of one warp (inter-steal victim metric)."""
@@ -100,6 +110,18 @@ class RunState:
         n = graph.n_vertices
         self.visited = np.zeros(n, dtype=np.uint8)
         self.parent = np.full(n, UNVISITED_PARENT, dtype=np.int64)
+
+        # Fast-path mirrors of the hot read-only data.  The simulator's
+        # inner loop inspects <= 32 neighbours per step; at that size the
+        # per-call overhead of NumPy fancy indexing dominates, so the
+        # expand fast path scans plain Python lists (C-array of object
+        # pointers, no per-read boxing of int64 scalars) and reads the
+        # visited flags through a memoryview of the *same* buffer as
+        # ``self.visited`` — every write through the NumPy array is
+        # immediately visible here, so there is a single source of truth.
+        self.row_ptr_list = graph.row_ptr.tolist()
+        self.col_idx_list = graph.column_idx.tolist()
+        self.visited_mv = memoryview(self.visited)
 
         #: Total stack entries across every HotRing/ColdSeg.  A vertex is
         #: pushed exactly once (the visited CAS guards it), entries only
@@ -168,13 +190,14 @@ class RunState:
         the operation linearizable; the counters still record the attempt
         so contention statistics are meaningful.
         """
-        self.counters.cas_attempts += 1
-        if self.visited[v]:
-            self.counters.cas_failures += 1
+        counters = self.counters
+        counters.cas_attempts += 1
+        if self.visited_mv[v]:  # reads the same buffer as self.visited
+            counters.cas_failures += 1
             return False
         self.visited[v] = 1
         self.parent[v] = parent
-        self.counters.vertices_visited += 1
+        counters.vertices_visited += 1
         return True
 
     def record(self, time: int, block: int, warp: int, kind: str,

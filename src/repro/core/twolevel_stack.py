@@ -56,9 +56,14 @@ class HotRing:
         self.tail = 0
 
     # -- state ----------------------------------------------------------
+    # Hot-path methods below use branch arithmetic instead of ``%`` and
+    # ``ndarray.item`` instead of scalar indexing + ``int()``: each runs
+    # once per simulated warp action, so constant factors matter.
+
     def __len__(self) -> int:
         """Occupancy: ``(head - tail + size) % size`` — the paper's hot_rest."""
-        return (self.head - self.tail + self.size) % self.size
+        d = self.head - self.tail
+        return d if d >= 0 else d + self.size
 
     @property
     def is_empty(self) -> bool:
@@ -66,7 +71,10 @@ class HotRing:
 
     @property
     def is_full(self) -> bool:
-        return (self.head + 1) % self.size == self.tail
+        nxt = self.head + 1
+        if nxt == self.size:
+            nxt = 0
+        return nxt == self.tail
 
     @property
     def free_slots(self) -> int:
@@ -75,35 +83,46 @@ class HotRing:
     # -- owner operations (at head) --------------------------------------
     def push(self, vertex: int, offset: int) -> None:
         """Fast push (Figure 2c): insert at ``head`` and advance it."""
-        if self.is_full:
+        head = self.head
+        nxt = head + 1
+        if nxt == self.size:
+            nxt = 0
+        if nxt == self.tail:
             raise StackOverflowError(
                 f"push into full HotRing (size={self.size}); caller must "
                 f"flush first"
             )
-        self.vertex[self.head] = vertex
-        self.offset[self.head] = offset
-        self.head = (self.head + 1) % self.size
+        self.vertex[head] = vertex
+        self.offset[head] = offset
+        self.head = nxt
 
     def peek(self) -> Tuple[int, int]:
         """Read the top entry (at ``head - 1``) without removing it."""
-        if self.is_empty:
+        if self.head == self.tail:
             raise SimulationError("peek on empty HotRing")
-        pos = (self.head - 1 + self.size) % self.size
-        return int(self.vertex[pos]), int(self.offset[pos])
+        pos = self.head - 1
+        if pos < 0:
+            pos = self.size - 1
+        return self.vertex.item(pos), self.offset.item(pos)
 
     def update_top_offset(self, offset: int) -> None:
         """Overwrite the top entry's offset (Algorithm 1's updateTop)."""
-        if self.is_empty:
+        if self.head == self.tail:
             raise SimulationError("update_top_offset on empty HotRing")
-        pos = (self.head - 1 + self.size) % self.size
+        pos = self.head - 1
+        if pos < 0:
+            pos = self.size - 1
         self.offset[pos] = offset
 
     def pop(self) -> Tuple[int, int]:
         """Fast pop (Figure 2d): retract ``head`` and return the entry."""
-        if self.is_empty:
+        if self.head == self.tail:
             raise SimulationError("pop on empty HotRing")
-        self.head = (self.head - 1 + self.size) % self.size
-        return int(self.vertex[self.head]), int(self.offset[self.head])
+        pos = self.head - 1
+        if pos < 0:
+            pos = self.size - 1
+        self.head = pos
+        return self.vertex.item(pos), self.offset.item(pos)
 
     # -- batch extraction -------------------------------------------------
     def take_from_tail(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -287,11 +306,16 @@ class WarpStack:
 
     @property
     def is_empty(self) -> bool:
-        return self.hot.is_empty and self.cold.is_empty
+        hot, cold = self.hot, self.cold
+        return hot.head == hot.tail and cold.top == cold.bottom
 
     def needs_flush(self) -> bool:
         """True when a push requires flushing first (HotRing full)."""
-        return self.hot.is_full
+        hot = self.hot
+        nxt = hot.head + 1
+        if nxt == hot.size:
+            nxt = 0
+        return nxt == hot.tail
 
     def flush(self) -> int:
         """Move ``flush_batch`` HotRing entries to the ColdSeg.
@@ -317,7 +341,8 @@ class WarpStack:
         return count
 
     def can_refill(self) -> bool:
-        return self.hot.is_empty and not self.cold.is_empty
+        hot, cold = self.hot, self.cold
+        return hot.head == hot.tail and cold.top != cold.bottom
 
     def refill(self) -> int:
         """Move up to ``refill_batch`` newest ColdSeg entries into the HotRing.

@@ -19,6 +19,19 @@ path, so a simulator step models one warp-wide action:
 Costs come from the device's :class:`~repro.sim.device.OpCosts`; the v1
 ablation (one-level stack) pays global-memory latency on every stack
 operation (``gstack_penalty``).
+
+Fast path
+---------
+``_expand`` (selected by ``config.fastpath``, the default) scans the
+neighbour window over the plain-Python adjacency mirrors precomputed in
+:class:`~repro.core.state.RunState` (``row_ptr_list``/``col_idx_list``)
+and reads visited flags through ``visited_mv`` — a memoryview aliasing
+the NumPy ``visited`` buffer.  At window width <= 32 this removes the
+per-step NumPy dispatch/allocation overhead that dominates the simulator
+wall-clock.  ``_expand_reference`` keeps the original NumPy
+implementation; both charge identical costs and mutate identical state,
+so schedules are bit-for-bit equal (the golden determinism test asserts
+cycles, steps, and the DFS tree match).
 """
 
 from __future__ import annotations
@@ -53,7 +66,11 @@ class WarpAgent:
     """One warp of the DiggerBees grid (see module docstring)."""
 
     __slots__ = ("state", "block_id", "warp_id", "block", "stack", "rng",
-                 "phase", "intra_plan", "inter_plan", "backoff")
+                 "phase", "intra_plan", "inter_plan", "backoff",
+                 "_two_level", "_gpenalty", "_bit", "_fastpath", "_out",
+                 "_c_pop", "_c_visit_base", "_c_visit_per_edge",
+                 "_c_push", "_c_visited_cas", "_c_cas_retry",
+                 "_c_flush_base", "_c_flush_per_entry")
 
     def __init__(self, state: RunState, block_id: int, warp_id: int):
         self.state = state
@@ -70,17 +87,71 @@ class WarpAgent:
         self.intra_plan: Optional[intra_steal.IntraStealPlan] = None
         self.inter_plan: Optional[inter_steal.InterStealPlan] = None
         self.backoff = state.costs.idle_poll
+        # Per-run constants hoisted out of the hot loop.  The gstack
+        # penalty folds into the per-operation constants so the fast
+        # expand path does one attribute read per cost term.
+        self._two_level = isinstance(self.stack, WarpStack)
+        self._gpenalty = 0 if self._two_level else GSTACK_PENALTY
+        self._bit = 1 << warp_id
+        self._fastpath = state.config.fastpath
+        costs = state.costs
+        self._c_pop = costs.hot_pop + self._gpenalty
+        self._c_visit_base = costs.visit_base + self._gpenalty
+        self._c_visit_per_edge = costs.visit_per_edge
+        self._c_push = costs.hot_push + self._gpenalty
+        self._c_visited_cas = costs.visited_cas
+        self._c_cas_retry = costs.cas_retry
+        self._c_flush_base = costs.flush_base
+        self._c_flush_per_entry = costs.flush_per_entry
+        # One StepOutcome reused across this agent's steps.  The engine
+        # (and every test) consumes an outcome before the agent steps
+        # again, so reuse removes one allocation per simulated step.
+        self._out = StepOutcome(cost=0)
 
     # ------------------------------------------------------------------
     def step(self, now: int) -> StepOutcome:
         state = self.state
-        if state.is_terminated():
+        if state.pending == 0:  # inlined state.is_terminated()
             return StepOutcome(cost=0, made_progress=False, done=True)
-        if self.phase is _Phase.RESERVE_INTRA:
-            return self._reserve_intra(now)
-        if self.phase is _Phase.RESERVE_INTER:
+        phase = self.phase
+        if phase is not _Phase.RUN:
+            if phase is _Phase.RESERVE_INTRA:
+                return self._reserve_intra(now)
             return self._reserve_inter(now)
-        if not self.stack.is_empty:
+        stack = self.stack
+        if self._two_level and self._fastpath:
+            # Inlined _work() for the common case: two-level stack on the
+            # fast path (identical costs/effects, fewer Python frames).
+            hot = stack.hot
+            cold = stack.cold
+            hot_empty = hot.head == hot.tail
+            if not hot_empty or cold.top != cold.bottom:
+                block = self.block
+                bit = self._bit
+                if not block.active_mask & bit:
+                    block.active_mask |= bit
+                costs = state.costs
+                self.backoff = costs.idle_poll
+                # Pay any victim-side contention accrued from steals on us.
+                debt = block.contention_debt[self.warp_id]
+                if debt:
+                    block.contention_debt[self.warp_id] = 0
+                if hot_empty:  # cold is non-empty here: refill
+                    moved = stack.refill()
+                    counters = state.counters
+                    counters.refills += 1
+                    counters.refill_entries += moved
+                    if state.trace is not None:
+                        state.record(now, self.block_id, self.warp_id,
+                                     "refill", (moved,))
+                    return StepOutcome(cost=debt + costs.refill_base
+                                       + costs.refill_per_entry * moved)
+                out = self._expand(now)
+                if debt:
+                    out.cost += debt  # not yet visible outside this step
+                return out
+            return self._idle(now)
+        if not stack.is_empty:
             return self._work(now)
         return self._idle(now)
 
@@ -90,37 +161,187 @@ class WarpAgent:
     def _work(self, now: int) -> StepOutcome:
         state = self.state
         costs = state.costs
-        self.block.set_active(self.warp_id, True)
+        block = self.block
+        bit = self._bit
+        if not block.active_mask & bit:
+            block.active_mask |= bit
         self.backoff = costs.idle_poll
 
         # Pay any victim-side contention accrued from steals against us.
-        debt = self.block.contention_debt[self.warp_id]
+        debt = block.contention_debt[self.warp_id]
         if debt:
-            self.block.contention_debt[self.warp_id] = 0
+            block.contention_debt[self.warp_id] = 0
 
-        if isinstance(self.stack, WarpStack) and self.stack.can_refill():
+        if self._two_level and self.stack.can_refill():
             moved = self.stack.refill()
             state.counters.refills += 1
             state.counters.refill_entries += moved
             state.record(now, self.block_id, self.warp_id, "refill", (moved,))
             return StepOutcome(cost=debt + costs.refill_base
                                + costs.refill_per_entry * moved)
-        out = self._expand(now)
+        if self._fastpath:
+            out = self._expand(now)
+        else:
+            out = self._expand_reference(now)
         if debt:
-            out = StepOutcome(cost=out.cost + debt,
-                              made_progress=out.made_progress, done=out.done)
+            out.cost += debt  # StepOutcome not yet visible outside this step
         return out
 
     def _expand(self, now: int) -> StepOutcome:
-        """One warp-wide DFS step on the top stack entry (Algorithm 1 body)."""
+        """One warp-wide DFS step on the top stack entry (Algorithm 1 body).
+
+        Fast path: identical costs, counters, and mutations to
+        :meth:`_expand_reference`, but the neighbour-window scan runs over
+        the RunState's plain-Python adjacency mirrors instead of NumPy
+        fancy indexing (see module docstring).
+        """
+        state = self.state
+        counters = state.counters
+        two_level = self._two_level
+        out = self._out
+        out.made_progress = True
+        out.done = False
+
+        # Inline HotRing top access for the two-level case: peek, pop and
+        # update_top_offset all address the same ``head - 1`` slot, and the
+        # step is atomic, so reading the pointers once is safe.
+        if two_level:
+            hot = self.stack.hot
+            pos = hot.head - 1
+            if pos < 0:
+                pos = hot.size - 1
+            u = hot.vertex.item(pos)
+            i = hot.offset.item(pos)
+        else:
+            top = self.stack
+            u, i = top.peek()
+        row_end = state.row_ptr_list[u + 1]
+        if i >= row_end:
+            # Adjacency exhausted: fast pop (offset notionally set to -1).
+            if two_level:
+                hot.head = pos
+            else:
+                top.pop()
+            counters.pops += 1
+            state.pending -= 1
+            if state.trace is not None:
+                state.record(now, self.block_id, self.warp_id, "pop", (u,))
+            out.cost = self._c_pop
+            return out
+
+        wend = i + WARP_WIDTH
+        if wend > row_end:
+            wend = row_end
+        window = wend - i
+        ci = state.col_idx_list
+        visited = state.visited_mv
+        k = -1
+        for j in range(i, wend):
+            if not visited[ci[j]]:
+                k = j
+                break
+        cost = self._c_visit_base + self._c_visit_per_edge * window
+
+        if k < 0:
+            # Whole window already visited: consume it.
+            counters.edges_traversed += window
+            if wend >= row_end:
+                if two_level:
+                    hot.head = pos
+                else:
+                    top.pop()
+                counters.pops += 1
+                state.pending -= 1
+                cost += self._c_pop
+                if state.trace is not None:
+                    state.record(now, self.block_id, self.warp_id, "pop", (u,))
+            else:
+                if two_level:
+                    hot.offset[pos] = wend
+                else:
+                    top.update_top_offset(wend)
+            out.cost = cost
+            return out
+
+        # Claim the first unvisited neighbour in the window.
+        counters.edges_traversed += k - i + 1
+        v = ci[k]
+        if two_level:
+            hot.offset[pos] = k + 1
+        else:
+            top.update_top_offset(k + 1)
+        claimed = state.try_claim_vertex(v, u)
+        cost += self._c_visited_cas
+        if not claimed:
+            # Lost the CAS to a concurrent warp (cannot happen under step
+            # atomicity after the visited check, but kept for safety).
+            out.cost = cost + self._c_cas_retry
+            return out
+
+        # Inlined counters.record_task(block_id, warp_id).
+        bid = self.block_id
+        tpb = counters.tasks_per_block
+        tpb[bid] = tpb.get(bid, 0) + 1
+        tpw = counters.tasks_per_warp
+        key = (bid, self.warp_id)
+        tpw[key] = tpw.get(key, 0) + 1
+        # Push <v | row_ptr[v]>, flushing first when the HotRing is full.
+        if two_level:
+            stack = self.stack
+            head = hot.head
+            nxt = head + 1
+            if nxt == hot.size:
+                nxt = 0
+            if nxt == hot.tail:  # inlined needs_flush(): ring is full
+                moved = stack.flush()
+                counters.flushes += 1
+                counters.flush_entries += moved
+                cost += self._c_flush_base + self._c_flush_per_entry * moved
+                if state.trace is not None:
+                    state.record(now, self.block_id, self.warp_id, "flush",
+                                 (moved,))
+                head = hot.head  # the "head" flush policy retracts it
+                nxt = head + 1
+                if nxt == hot.size:
+                    nxt = 0
+            # Inlined hot.push(): the flush guarantees a free slot.
+            hot.vertex[head] = v
+            hot.offset[head] = state.row_ptr_list[v]
+            hot.head = nxt
+            depth = nxt - hot.tail
+            if depth < 0:
+                depth += hot.size
+            if depth > counters.max_hot_depth:
+                counters.max_hot_depth = depth
+            cold = stack.cold
+            depth = cold.top - cold.bottom
+            if depth > counters.max_cold_depth:
+                counters.max_cold_depth = depth
+        else:
+            self.stack.push(v, state.row_ptr_list[v])
+        counters.pushes += 1
+        state.pending += 1
+        cost += self._c_push
+        if state.trace is not None:
+            state.record(now, self.block_id, self.warp_id, "visit", (u, v))
+        out.cost = cost
+        return out
+
+    def _expand_reference(self, now: int) -> StepOutcome:
+        """Reference NumPy implementation of the expand step.
+
+        Selected by ``config.fastpath=False``; kept verbatim so the
+        golden determinism test can assert the fast path reproduces it
+        bit-for-bit.
+        """
         state = self.state
         costs = state.costs
         counters = state.counters
         graph = state.graph
         rp, ci = graph.row_ptr, graph.column_idx
-        two_level = isinstance(self.stack, WarpStack)
+        two_level = self._two_level
         top = self.stack.hot if two_level else self.stack
-        gpenalty = 0 if two_level else GSTACK_PENALTY
+        gpenalty = self._gpenalty
 
         u, i = top.peek()
         row_end = int(rp[u + 1])
@@ -191,30 +412,31 @@ class WarpAgent:
         state = self.state
         costs = state.costs
         config = state.config
-        self.block.set_active(self.warp_id, False)
+        block = self.block
+        if block.active_mask & self._bit:
+            block.active_mask &= ~self._bit
 
         # Intra-block stealing: any peer in my block active?
-        if config.enable_intra_steal and not self.block.idle:
-            plan = intra_steal.select_victim(state, self.block, self.warp_id)
-            scan_cost = costs.steal_scan_per_warp * self.block.n_warps
+        if config.enable_intra_steal and block.active_mask:
+            plan = intra_steal.select_victim(state, block, self.warp_id)
+            extra = costs.steal_scan_per_warp * block.n_warps
             if plan is not None:
                 self.intra_plan = plan
                 self.phase = _Phase.RESERVE_INTRA
-                return StepOutcome(cost=scan_cost)
-            return self._poll(scan_cost)
-
+                return StepOutcome(cost=extra)
         # Inter-block stealing: leader warp of an idle block.
-        if (config.enable_inter_steal and self.warp_id == 0
-                and self.block.idle and config.n_blocks > 1):
+        elif (config.enable_inter_steal and self.warp_id == 0
+                and block.active_mask == 0 and config.n_blocks > 1):
             plan = inter_steal.select_victim(state, self.block_id, self.rng)
-            probe_cost = costs.steal_scan_per_warp * config.warps_per_block + 40
+            extra = costs.steal_scan_per_warp * config.warps_per_block + 40
             if plan is not None:
                 self.inter_plan = plan
                 self.phase = _Phase.RESERVE_INTER
-                return StepOutcome(cost=probe_cost)
-            return self._poll(probe_cost)
+                return StepOutcome(cost=extra)
+        else:
+            extra = 0
 
-        return self._poll(0)
+        return self._poll(extra)
 
     def _poll(self, extra: int) -> StepOutcome:
         """Exponential-backoff idle poll (no work found)."""
@@ -222,7 +444,11 @@ class WarpAgent:
         self.state.counters.idle_polls += 1
         cost = extra + self.backoff
         self.backoff = min(self.backoff * 2, costs.idle_backoff_max)
-        return StepOutcome(cost=cost, made_progress=False)
+        out = self._out
+        out.cost = cost
+        out.made_progress = False
+        out.done = False
+        return out
 
     def _reserve_intra(self, now: int) -> StepOutcome:
         state = self.state

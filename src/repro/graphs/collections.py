@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import GraphConstructionError
+from repro.graphs import diskcache
 from repro.graphs import generators as gen
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import derive_seed
@@ -52,7 +53,12 @@ class GraphSpec:
 
     def build(self, scale: int = 1, base_seed: int = 7) -> CSRGraph:
         seed = derive_seed(base_seed, "corpus", self.name, scale)
-        g = self.builder(scale, seed)
+        # The raw builder output is disk-cached; metadata is re-applied
+        # below so cache hits are indistinguishable from rebuilds.
+        g = diskcache.cached_build(
+            "corpus", self.name, {"scale": scale}, seed,
+            lambda: self.builder(scale, seed),
+        )
         return g.with_name(self.name, group=self.group,
                            paper_analog=self.paper_analog, regime_hint=self.regime)
 
@@ -192,7 +198,10 @@ def build_corpus(
     for size in sizes:
         for fam, group, builder in families:
             seed = derive_seed(base_seed, "sweep", fam, size)
-            g = builder(size, seed)
+            g = diskcache.cached_build(
+                "sweep", f"{fam}_{size}", {"size": size}, seed,
+                lambda b=builder, n=size, r=seed: b(n, r),
+            )
             corpus.append(g.with_name(f"{fam}_{size}", group=group, family=fam))
     corpus.sort(key=lambda g: g.n_edges)
     return corpus

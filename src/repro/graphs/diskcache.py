@@ -1,0 +1,128 @@
+"""Disk cache for generated corpus graphs.
+
+Benchmark sweeps (Figures 5-10) regenerate the same synthetic corpus on
+every invocation; generation cost rivals simulation cost for the larger
+sizes.  This module memoizes *raw builder output* to compressed ``.npz``
+files keyed by ``(kind, name, params, seed, CACHE_VERSION)`` so repeated
+runs skip regeneration entirely.
+
+Contract
+--------
+* The cache stores only the CSR structure (``row_ptr``/``column_idx``,
+  directedness, name) via :func:`repro.graphs.io.save_npz`; callers
+  re-apply display metadata (``with_name``) after the cached build, so a
+  cache hit is bit-for-bit equivalent to a rebuild for every simulation
+  purpose.
+* Writes are atomic (temp file + ``os.replace``), so concurrent sweep
+  workers never observe a torn file.
+* Corrupt or unreadable entries are discarded and rebuilt.
+* Location: ``$REPRO_CORPUS_CACHE`` if set, else
+  ``~/.cache/repro-diggerbees/corpus``.  Setting the variable to ``0``,
+  ``off``, ``none`` or the empty string disables caching.
+* Invalidation: bump :data:`CACHE_VERSION` when generator semantics
+  change, or delete the directory (``clear_disk_cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Mapping, Optional
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.io import load_npz, save_npz
+
+__all__ = [
+    "CACHE_VERSION",
+    "ENV_VAR",
+    "cache_dir",
+    "cache_path",
+    "cached_build",
+    "clear_disk_cache",
+]
+
+#: Bump when generator output changes for identical (params, seed).
+CACHE_VERSION = 1
+
+ENV_VAR = "REPRO_CORPUS_CACHE"
+
+_DISABLED = ("", "0", "off", "none", "disabled")
+
+
+def cache_dir() -> Optional[Path]:
+    """Resolve the cache directory, or None when caching is disabled."""
+    raw = os.environ.get(ENV_VAR)
+    if raw is not None:
+        if raw.strip().lower() in _DISABLED:
+            return None
+        return Path(raw).expanduser()
+    return Path.home() / ".cache" / "repro-diggerbees" / "corpus"
+
+
+def cache_path(kind: str, name: str, params: Mapping, seed: int) -> Optional[Path]:
+    """Deterministic cache file path for one builder invocation."""
+    d = cache_dir()
+    if d is None:
+        return None
+    payload = json.dumps(
+        {"kind": kind, "name": name, "params": dict(params),
+         "seed": int(seed), "version": CACHE_VERSION},
+        sort_keys=True, default=str,
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+    stem = "".join(c if c.isalnum() or c in "-_" else "_"
+                   for c in f"{kind}-{name}")
+    return d / f"{stem}-{digest}.npz"
+
+
+def cached_build(kind: str, name: str, params: Mapping, seed: int,
+                 builder: Callable[[], CSRGraph]) -> CSRGraph:
+    """Return the cached graph for this key, building (and caching) on miss.
+
+    Caching is strictly best-effort: any I/O problem falls back to the
+    builder so benchmarks never fail because of cache state.
+    """
+    path = cache_path(kind, name, params, seed)
+    if path is None:
+        return builder()
+    if path.exists():
+        try:
+            return load_npz(path)
+        except Exception:
+            # Corrupt/partial entry (e.g. version-skewed numpy): rebuild.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    graph = builder()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp.npz")
+        os.close(fd)
+        try:
+            save_npz(graph, tmp)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    except OSError:
+        pass
+    return graph
+
+
+def clear_disk_cache() -> int:
+    """Delete every cached corpus file; returns the number removed."""
+    d = cache_dir()
+    if d is None or not d.exists():
+        return 0
+    removed = 0
+    for f in d.glob("*.npz"):
+        try:
+            f.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -7,14 +7,38 @@ agent is then re-scheduled at ``now + cost``.  Atomicity at step
 granularity gives exact CAS semantics: the winner's mutation is visible to
 every later step, losers observe the new value.
 
-Determinism: the ready queue is a heap keyed by ``(ready_at, seq)`` where
+Determinism: events are totally ordered by ``(ready_at, seq)`` where
 ``seq`` is a monotonically increasing tie-breaker, so two runs with the
 same seed produce identical schedules.  (FIFO tie-breaking also mirrors
 fair hardware arbitration of simultaneous requests.)
 
+Two schedulers implement that contract bit-for-bit identically:
+
+* ``"heap"`` — the classic binary heap.  Entries are mutable three-slot
+  lists that are *reused* across reschedules (the popped entry is
+  refreshed in place and pushed back), so the steady state allocates no
+  per-step tuples.
+* ``"calendar"`` — a bucketed calendar queue: events land in a FIFO
+  bucket per distinct ``ready_at`` and a small heap orders only the
+  distinct timestamps.  Because an agent is always rescheduled at
+  ``now + cost`` with ``cost >= 1``, insertions never target the bucket
+  currently draining, and because ``seq`` order equals scheduling order,
+  bucket FIFO order *is* ``seq`` order.  This is the fast path when many
+  agents share timestamps (the common small-cost case).
+
+``scheduler="auto"`` (the default) selects the calendar queue.  The
+golden determinism tests assert both produce identical ``EngineResult``
+and traversal output.
+
 Termination is algorithm-defined via ``is_terminated``; the engine adds a
 deadlock guard (progress must occur within ``deadlock_window`` consecutive
-steps) and a hard ``max_cycles`` safety net.
+steps) and a hard ``max_cycles`` safety net.  The budget is checked
+against each event's ``ready_at`` *before* the step executes, so no
+over-budget step is ever run.  ``poll_interval`` trades termination-check
+frequency for speed: with the default of 1 the predicate is polled before
+every step (exact, bit-for-bit reproducible cycle counts); larger values
+poll every N steps, which can overshoot the final cycle count by a few
+events and is only meant for throwaway capacity sweeps.
 """
 
 from __future__ import annotations
@@ -25,10 +49,12 @@ from typing import Callable, List, Optional, Protocol, Sequence
 
 from repro.errors import DeadlockError, SimulationError
 
-__all__ = ["Agent", "StepOutcome", "EngineResult", "EventLoop"]
+__all__ = ["Agent", "StepOutcome", "EngineResult", "EventLoop", "SCHEDULERS"]
+
+#: Accepted ``scheduler`` arguments ("auto" resolves to the calendar queue).
+SCHEDULERS = ("auto", "heap", "calendar")
 
 
-@dataclass(frozen=True)
 class StepOutcome:
     """Result of one agent step.
 
@@ -38,11 +64,30 @@ class StepOutcome:
     guard, so an algorithm in which *only* failed steal attempts and idle
     polls occur for a long window is reported as deadlocked.
     ``done`` — the agent leaves the schedule permanently.
+
+    A plain ``__slots__`` class rather than a dataclass: one is allocated
+    per simulated step, so construction cost is on the engine's critical
+    path.  Treat instances as immutable once returned.
     """
 
-    cost: int
-    made_progress: bool = True
-    done: bool = False
+    __slots__ = ("cost", "made_progress", "done")
+
+    def __init__(self, cost: int, made_progress: bool = True,
+                 done: bool = False):
+        self.cost = cost
+        self.made_progress = made_progress
+        self.done = done
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"StepOutcome(cost={self.cost}, "
+                f"made_progress={self.made_progress}, done={self.done})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StepOutcome):
+            return NotImplemented
+        return (self.cost == other.cost
+                and self.made_progress == other.made_progress
+                and self.done == other.done)
 
 
 class Agent(Protocol):
@@ -66,7 +111,7 @@ class EngineResult:
 
 
 class EventLoop:
-    """Heap-based deterministic scheduler (see module docstring).
+    """Deterministic scheduler (see module docstring).
 
     Parameters
     ----------
@@ -78,12 +123,20 @@ class EventLoop:
         modelling kernel exit once the done-flag is observed).
     max_cycles:
         Hard upper bound on simulated time (safety net against
-        miscalibrated runs); exceeding it raises ``SimulationError``.
+        miscalibrated runs).  An event whose ``ready_at`` exceeds it
+        raises ``SimulationError`` *without executing*.
     deadlock_window:
         If no step reports progress for this many consecutive steps while
         ``is_terminated`` stays False, raise ``DeadlockError``.  Sized
         generously relative to the agent count so legitimate idle phases
         (everyone polling while one warp works) never trip it.
+    scheduler:
+        ``"heap"``, ``"calendar"``, or ``"auto"`` (default; resolves to
+        the calendar queue).  Both produce identical schedules.
+    poll_interval:
+        Check ``is_terminated`` every this many steps.  1 (default) is
+        exact; values > 1 are faster but may overshoot the final cycle
+        count — never use them when cycle counts must be reproducible.
     """
 
     def __init__(
@@ -93,53 +146,167 @@ class EventLoop:
         is_terminated: Callable[[], bool],
         max_cycles: int = 50_000_000_000,
         deadlock_window: Optional[int] = None,
+        scheduler: str = "auto",
+        poll_interval: int = 1,
     ):
         if not agents:
             raise SimulationError("event loop needs at least one agent")
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}"
+            )
+        if poll_interval < 1:
+            raise SimulationError(
+                f"poll_interval must be >= 1, got {poll_interval}"
+            )
         self._agents = list(agents)
         self._is_terminated = is_terminated
         self._max_cycles = int(max_cycles)
         self._deadlock_window = deadlock_window or max(10_000, 200 * len(agents))
+        self._scheduler = "calendar" if scheduler == "auto" else scheduler
+        self._poll_interval = int(poll_interval)
 
     def run(self) -> EngineResult:
         """Run to termination; returns elapsed cycles and step count."""
-        heap: List = []
-        for seq, agent in enumerate(self._agents):
-            heapq.heappush(heap, (0, seq, agent))
+        if self._scheduler == "heap":
+            return self._run_heap()
+        return self._run_calendar()
+
+    # ------------------------------------------------------------------
+    def _over_budget(self, ready_at: int, steps: int) -> SimulationError:
+        return SimulationError(
+            f"simulation exceeded max_cycles={self._max_cycles} "
+            f"(next event at {ready_at}, steps={steps}); cost model or "
+            f"algorithm is runaway"
+        )
+
+    def _deadlocked(self, stale: int, now: int) -> DeadlockError:
+        return DeadlockError(
+            f"no progress in {stale} consecutive steps at cycle "
+            f"{now} with work pending"
+        )
+
+    # ------------------------------------------------------------------
+    def _run_heap(self) -> EngineResult:
+        """Binary-heap scheduler with slot-reuse entries."""
+        # Entries are mutable [ready_at, seq, agent] lists; the initial
+        # ascending-seq layout is already heap-ordered.
+        heap: List[list] = [[0, seq, agent]
+                            for seq, agent in enumerate(self._agents)]
         next_seq = len(self._agents)
         now = 0
         steps = 0
         stale = 0
+        countdown = 1  # force a termination check before the first step
+
+        # Hot-loop locals.
+        pop = heapq.heappop
+        push = heapq.heappush
+        is_terminated = self._is_terminated
+        max_cycles = self._max_cycles
+        window = self._deadlock_window
+        poll = self._poll_interval
 
         while heap:
-            if self._is_terminated():
-                break
-            ready_at, _, agent = heapq.heappop(heap)
+            countdown -= 1
+            if countdown == 0:
+                if is_terminated():
+                    break
+                countdown = poll
+            entry = pop(heap)
+            ready_at = entry[0]
+            agent = entry[2]
             if ready_at > now:
+                if ready_at > max_cycles:
+                    raise self._over_budget(ready_at, steps)
                 now = ready_at
-            if now > self._max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded max_cycles={self._max_cycles} "
-                    f"(steps={steps}); cost model or algorithm is runaway"
-                )
             outcome = agent.step(now)
             steps += 1
             if outcome.made_progress:
                 stale = 0
             else:
                 stale += 1
-                if stale > self._deadlock_window:
-                    raise DeadlockError(
-                        f"no progress in {stale} consecutive steps at cycle "
-                        f"{now} with work pending"
-                    )
+                if stale > window:
+                    raise self._deadlocked(stale, now)
             if not outcome.done:
-                if outcome.cost < 1:
+                cost = outcome.cost
+                if cost < 1:
                     raise SimulationError(
                         f"agent {agent!r} returned non-positive cost "
-                        f"{outcome.cost} without finishing"
+                        f"{cost} without finishing"
                     )
-                heapq.heappush(heap, (now + outcome.cost, next_seq, agent))
+                # Slot reuse: refresh the popped entry in place.
+                entry[0] = now + cost
+                entry[1] = next_seq
                 next_seq += 1
+                push(heap, entry)
+
+        return EngineResult(cycles=now, steps=steps, agents=len(self._agents))
+
+    # ------------------------------------------------------------------
+    def _run_calendar(self) -> EngineResult:
+        """Bucketed calendar-queue scheduler.
+
+        ``buckets`` maps each distinct ``ready_at`` to a FIFO list of
+        agents; ``times`` is a heap over the distinct timestamps only.
+        Rescheduling appends at ``now + cost > now``, so the bucket being
+        drained never grows, and appends happen in ``seq`` order — the
+        drain order is exactly the heap scheduler's ``(ready_at, seq)``.
+        """
+        buckets = {0: list(self._agents)}
+        times = [0]
+        now = 0
+        steps = 0
+        stale = 0
+        countdown = 1
+
+        pop_time = heapq.heappop
+        push_time = heapq.heappush
+        is_terminated = self._is_terminated
+        max_cycles = self._max_cycles
+        window = self._deadlock_window
+        poll = self._poll_interval
+
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            for agent in bucket:
+                # Order matters for bit-exactness with the heap scheduler:
+                # termination is observed *before* time advances to this
+                # event, so `cycles` never includes an abandoned event.
+                countdown -= 1
+                if countdown == 0:
+                    if is_terminated():
+                        return EngineResult(cycles=now, steps=steps,
+                                            agents=len(self._agents))
+                    countdown = poll
+                if t > now:
+                    if t > max_cycles:
+                        raise self._over_budget(t, steps)
+                    now = t
+                outcome = agent.step(now)
+                steps += 1
+                if outcome.made_progress:
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale > window:
+                        raise self._deadlocked(stale, now)
+                if not outcome.done:
+                    cost = outcome.cost
+                    if cost < 1:
+                        raise SimulationError(
+                            f"agent {agent!r} returned non-positive cost "
+                            f"{cost} without finishing"
+                        )
+                    t2 = now + cost
+                    b2 = buckets.get(t2)
+                    if b2 is None:
+                        buckets[t2] = [agent]
+                        push_time(times, t2)
+                    else:
+                        b2.append(agent)
+            pop_time(times)
+            del buckets[t]
 
         return EngineResult(cycles=now, steps=steps, agents=len(self._agents))

@@ -1,0 +1,72 @@
+"""The process-pool sweep fan-out must be jobs-invariant.
+
+Every (method, graph, root) sample is an independent deterministic
+simulation, so ``run_graph`` / ``run_sweep`` with ``jobs=4`` must return
+byte-identical ``PerfSample`` aggregates to the serial ``jobs=1`` path.
+These tests run on a tiny corpus so the pool overhead stays small even
+on a single-CPU machine.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchConfig,
+    run_graph,
+    run_sweep,
+    summarize_method,
+)
+from repro.graphs import generators as gen
+
+FAST = BenchConfig(sim_scale=0.05, warps_per_block=2, n_roots=2, seed=3)
+METHODS = ["DiggerBees", "Serial-DFS"]
+
+
+@pytest.fixture(scope="module")
+def road():
+    return gen.road_network(400, seed=21)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [
+        gen.road_network(300, seed=22).with_name("road_tiny"),
+        gen.preferential_attachment(300, m=4, seed=23).with_name("pa_tiny"),
+    ]
+
+
+class TestRunGraphParallel:
+    def test_jobs_invariant_samples(self, road):
+        serial = run_graph(METHODS, road, FAST, jobs=1)
+        parallel = run_graph(METHODS, road, FAST, jobs=4)
+        assert serial == parallel  # PerfSample dataclasses compare by value
+
+    def test_jobs_invariant_summaries(self, road):
+        serial = run_graph(METHODS, road, FAST, jobs=1)
+        parallel = run_graph(METHODS, road, FAST, jobs=4)
+        for m in METHODS:
+            assert summarize_method(serial[m]) == summarize_method(parallel[m])
+
+    def test_cfg_jobs_field_is_default(self, road):
+        # jobs=None picks up cfg.jobs; an explicit override wins.
+        cfg4 = BenchConfig(sim_scale=0.05, warps_per_block=2, n_roots=2,
+                           seed=3, jobs=4)
+        assert run_graph(METHODS, road, cfg4) == run_graph(METHODS, road, FAST)
+
+
+class TestRunSweepParallel:
+    def test_jobs_invariant(self, corpus):
+        serial = run_sweep(METHODS, corpus, FAST, jobs=1)
+        parallel = run_sweep(METHODS, corpus, FAST, jobs=4)
+        assert serial == parallel
+
+    def test_shape(self, corpus):
+        out = run_sweep(METHODS, corpus, FAST, jobs=4)
+        assert set(out) == {"road_tiny", "pa_tiny"}
+        for per_method in out.values():
+            assert set(per_method) == set(METHODS)
+            assert all(len(v) == FAST.n_roots for v in per_method.values())
+
+    def test_matches_per_graph_run_graph(self, corpus):
+        sweep = run_sweep(METHODS, corpus, FAST, jobs=4)
+        for g in corpus:
+            assert sweep[g.name] == run_graph(METHODS, g, FAST, jobs=1)

@@ -116,3 +116,63 @@ class TestEventLoop:
         a = CountdownAgent(2, cost=1000)
         res = EventLoop([a], is_terminated=lambda: False).run()
         assert res.seconds(1e9) == pytest.approx(res.cycles / 1e9)
+
+
+class TestMaxCyclesBoundary:
+    """The budget is checked against ``ready_at`` *before* executing."""
+
+    @pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+    def test_event_exactly_at_budget_executes(self, scheduler):
+        # Events at 0, 10, 20; max_cycles=20 admits all three.
+        a = CountdownAgent(3, cost=10)
+        res = EventLoop([a], is_terminated=lambda: False,
+                        max_cycles=20, scheduler=scheduler).run()
+        assert a.steps_at == [0, 10, 20]
+        assert res.cycles == 20 and res.steps == 3
+
+    @pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+    def test_over_budget_event_never_executes(self, scheduler):
+        # The event at 20 exceeds max_cycles=19 and must raise without
+        # the agent ever observing now=20.
+        a = CountdownAgent(3, cost=10)
+        loop = EventLoop([a], is_terminated=lambda: False,
+                         max_cycles=19, scheduler=scheduler)
+        with pytest.raises(SimulationError, match="max_cycles"):
+            loop.run()
+        assert a.steps_at == [0, 10]
+
+
+class TestSchedulerEquivalence:
+    """heap and calendar implement the same (ready_at, seq) total order."""
+
+    @pytest.mark.parametrize("scheduler", ["auto", "heap", "calendar"])
+    def test_scheduler_names_accepted(self, scheduler):
+        a = CountdownAgent(2, cost=3)
+        EventLoop([a], is_terminated=lambda: False, scheduler=scheduler).run()
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError, match="scheduler"):
+            EventLoop([CountdownAgent(1)], is_terminated=lambda: False,
+                      scheduler="fifo")
+
+    def test_identical_step_order_and_result(self):
+        def make_agents():
+            # Mixed costs force both shared-timestamp buckets and
+            # interleaving reschedules.
+            return [CountdownAgent(6, cost=c) for c in (3, 3, 7, 1, 5)]
+
+        results = {}
+        traces = {}
+        for scheduler in ("heap", "calendar"):
+            agents = make_agents()
+            results[scheduler] = EventLoop(
+                agents, is_terminated=lambda: False, scheduler=scheduler
+            ).run()
+            traces[scheduler] = [a.steps_at for a in agents]
+        assert results["heap"] == results["calendar"]
+        assert traces["heap"] == traces["calendar"]
+
+    def test_poll_interval_validation(self):
+        with pytest.raises(SimulationError, match="poll_interval"):
+            EventLoop([CountdownAgent(1)], is_terminated=lambda: False,
+                      poll_interval=0)
