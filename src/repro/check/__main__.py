@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.check <fuzz|repro|mutants> ...``."""
+
+import sys
+
+from repro.check.cli import main
+
+sys.exit(main())

@@ -1,0 +1,212 @@
+"""Seeded fuzz-case generation for ``repro.check``.
+
+One integer seed deterministically names one complete test case: graph
+family, size, generator seed, root, and a full
+:class:`~repro.core.config.DiggerBeesConfig` including the schedule
+perturbation.  ``python -m repro.check repro <seed>`` therefore rebuilds
+*exactly* the run that failed, with no corpus files to ship around.
+
+Case parameters deliberately skew toward the configurations where steal
+protocols are stressed: tiny HotRings (frequent flushes, thief/owner tail
+races), low steal cutoffs (many qualifying victims), multiple blocks
+(inter-block CAS traffic), adversarial victim choice, and schedule
+jitter.  Production-sized configs are correct *because* these hostile
+ones are.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.config import DiggerBeesConfig
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["FuzzCase", "case_from_seed", "FAMILIES"]
+
+#: Graph families the fuzzer draws from, spanning the paper's three
+#: structural regimes (deep/narrow, shallow/wide, intermediate) plus the
+#: elementary corner cases.
+FAMILIES = (
+    "path",
+    "cycle",
+    "binary_tree",
+    "star",
+    "grid2d",
+    "road_network",
+    "delaunay_mesh",
+    "random_geometric",
+    "preferential_attachment",
+    "small_world",
+    "rmat",
+)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully-determined fuzz input (graph + config + schedule)."""
+
+    seed: int                    # the seed that named this case (repro key)
+    family: str
+    n_vertices: int
+    graph_seed: int
+    root: int = 0
+    n_blocks: int = 2
+    warps_per_block: int = 2
+    n_gpus: int = 1
+    hot_size: int = 8
+    hot_cutoff: int = 2
+    cold_cutoff: int = 2
+    flush_batch: int = 2
+    refill_batch: int = 2
+    two_level: bool = True
+    victim_policy: str = "two_choice"
+    flush_policy: str = "tail"
+    perturb_seed: Optional[int] = None
+    jitter: int = 0
+    adversarial_victims: bool = False
+    shrunk_from: Optional[int] = field(default=None, compare=False)
+
+    # ------------------------------------------------------------------
+    def build_graph(self) -> CSRGraph:
+        n = self.n_vertices
+        s = self.graph_seed
+        if self.family == "path":
+            return gen.path_graph(n)
+        if self.family == "cycle":
+            return gen.cycle_graph(max(3, n))
+        if self.family == "binary_tree":
+            # depth chosen so the vertex count is comparable to n
+            depth = max(2, n.bit_length() - 1)
+            return gen.binary_tree(depth)
+        if self.family == "star":
+            return gen.star_graph(n)
+        if self.family == "grid2d":
+            side = max(2, int(n ** 0.5))
+            return gen.grid2d(side, side)
+        if self.family == "road_network":
+            return gen.road_network(n, seed=s)
+        if self.family == "delaunay_mesh":
+            return gen.delaunay_mesh(n, seed=s)
+        if self.family == "random_geometric":
+            return gen.random_geometric(n, seed=s)
+        if self.family == "preferential_attachment":
+            return gen.preferential_attachment(n, m=3, seed=s)
+        if self.family == "small_world":
+            return gen.small_world(n, k=4, seed=s)
+        if self.family == "rmat":
+            # rmat takes a log2 scale: 2**scale vertices close to n.
+            return gen.rmat(max(4, n.bit_length() - 1), edge_factor=6, seed=s)
+        raise ValueError(f"unknown fuzz family {self.family!r}")
+
+    def build_config(self, **overrides) -> DiggerBeesConfig:
+        kwargs = dict(
+            n_blocks=self.n_blocks,
+            warps_per_block=self.warps_per_block,
+            n_gpus=self.n_gpus,
+            hot_size=self.hot_size,
+            hot_cutoff=self.hot_cutoff,
+            cold_cutoff=self.cold_cutoff,
+            flush_batch=self.flush_batch,
+            refill_batch=self.refill_batch,
+            two_level=self.two_level,
+            victim_policy=self.victim_policy,
+            flush_policy=self.flush_policy,
+            cold_reserve=max(16, self.cold_cutoff),
+            seed=self.graph_seed,
+            perturb_seed=self.perturb_seed,
+            jitter=self.jitter,
+            adversarial_victims=self.adversarial_victims,
+        )
+        kwargs.update(overrides)
+        return DiggerBeesConfig(**kwargs)
+
+    def describe(self) -> str:
+        """One-line summary used in failure reports."""
+        parts = [
+            f"seed={self.seed}",
+            f"family={self.family}",
+            f"n={self.n_vertices}",
+            f"grid={self.n_blocks}x{self.warps_per_block}",
+            f"hot={self.hot_size}/{self.hot_cutoff}",
+            f"cold_cutoff={self.cold_cutoff}",
+            f"flush={self.flush_batch}@{self.flush_policy}",
+        ]
+        if not self.two_level:
+            parts.append("one-level")
+        if self.n_gpus > 1:
+            parts.append(f"gpus={self.n_gpus}")
+        if self.perturb_seed is not None:
+            parts.append(f"perturb={self.perturb_seed}+j{self.jitter}")
+        if self.adversarial_victims:
+            parts.append("adversarial")
+        if self.shrunk_from is not None:
+            parts.append(f"(shrunk from seed {self.shrunk_from})")
+        return " ".join(parts)
+
+    def with_(self, **kwargs) -> "FuzzCase":
+        """Copy with overrides (shrinker transformation helper)."""
+        return replace(self, **kwargs)
+
+
+def case_from_seed(seed: int, *, stress: bool = False) -> FuzzCase:
+    """Derive the complete fuzz case named by ``seed``.
+
+    ``stress=True`` biases toward maximum steal contention (tiny rings,
+    minimum cutoffs, adversarial victims, jitter always on) — used by the
+    mutation sanity suite, where the goal is to *trigger* the injected
+    bug as fast as possible rather than to sample broadly.
+    """
+    rnd = random.Random(seed)
+    family = FAMILIES[rnd.randrange(len(FAMILIES))]
+    if stress:
+        n = rnd.choice((48, 96, 160, 240))
+        hot_size = rnd.choice((8, 8, 16))
+        n_blocks = rnd.choice((2, 2, 4))
+        warps = rnd.choice((2, 4))
+        two_level = True
+        adversarial = True
+        jitter = rnd.randrange(1, 5)
+        hot_cutoff = 2
+        cold_cutoff = 2
+        flush_batch = rnd.choice((2, 3))
+    else:
+        n = rnd.choice((32, 64, 120, 200, 320, 480))
+        hot_size = rnd.choice((8, 16, 32))
+        n_blocks = rnd.choice((1, 2, 2, 4))
+        warps = rnd.choice((1, 2, 2, 4))
+        two_level = rnd.random() >= 0.15
+        adversarial = rnd.random() < 0.5
+        jitter = rnd.choice((0, 0, 1, 2, 4))
+        hot_cutoff = rnd.choice((2, 3, 4))
+        cold_cutoff = rnd.choice((2, 4, 6))
+        flush_batch = rnd.choice((2, 3, 4))
+    flush_batch = min(flush_batch, hot_size - 1)
+    hot_cutoff = min(hot_cutoff, hot_size - 1)
+    n_gpus = 2 if (n_blocks == 4 and rnd.random() < 0.25) else 1
+    perturb = seed if (stress or rnd.random() < 0.7) else None
+    if perturb is None:
+        jitter = 0  # jitter samples come from the perturbation RNG
+    return FuzzCase(
+        seed=seed,
+        family=family,
+        n_vertices=n,
+        graph_seed=rnd.randrange(1 << 20),
+        root=0,
+        n_blocks=n_blocks,
+        warps_per_block=warps,
+        n_gpus=n_gpus,
+        hot_size=hot_size,
+        hot_cutoff=hot_cutoff,
+        cold_cutoff=cold_cutoff,
+        flush_batch=flush_batch,
+        refill_batch=flush_batch,
+        two_level=two_level,
+        victim_policy="two_choice" if rnd.random() < 0.8 else "random",
+        flush_policy="tail" if rnd.random() < 0.85 else "head",
+        perturb_seed=perturb,
+        jitter=jitter,
+        adversarial_victims=adversarial,
+    )

@@ -1,0 +1,218 @@
+"""Differential check driver for one fuzz case (``repro.check`` part 3).
+
+:func:`check_case` runs a :class:`~repro.check.cases.FuzzCase` through a
+fixed oracle ladder and reports the first failure (or None):
+
+1. **monitored run** — DiggerBees under a live
+   :class:`~repro.check.invariants.InvariantMonitor` with the engine's
+   per-step sweep observer and the post-run ``check_invariants`` pass;
+2. **output validation** — :func:`repro.validate.tree.validate_traversal`
+   (tree validity + visited/reachable equality);
+3. **serial reference** — visited set must equal
+   :func:`~repro.validate.reference.serial_dfs`'s (the ground truth);
+4. **fastpath differential** — rerun with ``fastpath`` flipped; cycles,
+   steps, parent and visited must be bit-identical (the fast path
+   promises an *identical schedule*, not merely a correct one);
+5. **scheduler differential** — heap vs calendar-queue rerun must agree
+   exactly (skipped under perturbation, which bypasses both);
+6. **PDFS baseline differential** — CKL-PDFS reachability on the same
+   graph must match (skipped on larger cases; it is the slowest oracle).
+
+Every failure carries the one-line shell command that reproduces it
+deterministically (acceptance criterion: *"every failure the fuzzer
+reports prints a one-line repro command"*).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Optional
+
+import numpy as np
+
+from repro.check.cases import FuzzCase
+from repro.check.invariants import InvariantMonitor
+from repro.check.mutations import apply_mutation
+from repro.core.diggerbees import DiggerBeesResult, run_diggerbees
+from repro.errors import ReproError
+from repro.validate.reference import serial_dfs
+from repro.validate.tree import validate_traversal
+
+__all__ = ["CheckFailure", "check_case", "run_monitored", "case_to_json",
+           "case_from_json", "PDFS_MAX_VERTICES"]
+
+#: Cases at or below this size also run the CKL-PDFS baseline oracle.
+PDFS_MAX_VERTICES = 400
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One oracle-ladder failure, with its deterministic repro command."""
+
+    case: FuzzCase
+    stage: str          # which oracle rung failed
+    message: str        # first line of the underlying error / mismatch
+    mutation: Optional[str] = None
+    stress: bool = False
+
+    @property
+    def repro_command(self) -> str:
+        """One-line shell command that reproduces this exact failure."""
+        cmd = "python -m repro.check repro"
+        if self.case.shrunk_from is None:
+            cmd += f" {self.case.seed}"
+        else:
+            # Shrunk cases are no longer seed-derivable: ship the full spec.
+            cmd += f" --case '{case_to_json(self.case)}'"
+        if self.stress:
+            cmd += " --stress"  # also selects the per-step sweep period
+        if self.mutation:
+            cmd += f" --mutation {self.mutation}"
+        return cmd
+
+    def report(self) -> str:
+        """Multi-line human-readable failure report."""
+        lines = [
+            f"FAIL [{self.stage}] {self.case.describe()}",
+            f"  {self.message.splitlines()[0]}",
+            f"  repro: {self.repro_command}",
+        ]
+        return "\n".join(lines)
+
+
+def case_to_json(case: FuzzCase) -> str:
+    """Compact JSON spec of a case (used for shrunk-case repro commands)."""
+    return json.dumps(asdict(case), separators=(",", ":"))
+
+
+def case_from_json(text: str) -> FuzzCase:
+    """Inverse of :func:`case_to_json` (ignores unknown keys)."""
+    data = json.loads(text)
+    known = {f.name for f in fields(FuzzCase)}
+    return FuzzCase(**{k: v for k, v in data.items() if k in known})
+
+
+def run_monitored(case: FuzzCase, *, check_every: int = 64,
+                  **config_overrides) -> DiggerBeesResult:
+    """Run one case under a fresh invariant monitor; raises on violation."""
+    graph = case.build_graph()
+    config = case.build_config(**config_overrides)
+    monitor = InvariantMonitor(check_every=check_every)
+    result = run_diggerbees(
+        graph, case.root, config=config,
+        check_invariants=True, instrument=monitor.attach,
+    )
+    monitor.final_check()
+    return result
+
+
+def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
+               stress: bool = False,
+               check_every: Optional[int] = None) -> Optional[CheckFailure]:
+    """Run the full oracle ladder on ``case``; None means it passed.
+
+    ``mutation`` (a name from :data:`repro.check.mutations.MUTATIONS`)
+    applies the named injected bug for the whole ladder — used by the
+    mutation sanity suite and by ``repro --mutation`` to replay a
+    mutant's failure.
+
+    ``check_every`` defaults to a per-step sweep (1) in stress mode —
+    transient corruption (e.g. an ABA duplicate that the victim pops a
+    step later) is only visible to a sweep that runs before the next
+    step — and to 64 otherwise, where throughput matters more.
+    """
+    if check_every is None:
+        check_every = 1 if stress else 64
+
+    def fail(stage: str, message: str) -> CheckFailure:
+        return CheckFailure(case=case, stage=stage, message=str(message),
+                            mutation=mutation, stress=stress)
+
+    with apply_mutation(mutation):
+        # Stage 1: monitored run (invariant hooks + periodic sweep).
+        try:
+            result = run_monitored(case, check_every=check_every)
+        except ReproError as exc:
+            return fail("invariants", f"{type(exc).__name__}: {exc}")
+
+        graph = case.build_graph()
+
+        # Stage 2: output validators (tree validity, visited vs reachable).
+        try:
+            validate_traversal(graph, result.traversal)
+        except ReproError as exc:
+            return fail("validate", f"{type(exc).__name__}: {exc}")
+
+        # Stage 3: serial reference (ground-truth reachability).
+        ref = serial_dfs(graph, case.root)
+        if not np.array_equal(ref.visited, result.traversal.visited):
+            missing = np.flatnonzero(ref.visited & ~result.traversal.visited)
+            extra = np.flatnonzero(~ref.visited & result.traversal.visited)
+            return fail(
+                "serial-diff",
+                f"visited set differs from serial DFS: "
+                f"{missing.size} missing (e.g. {missing[:5].tolist()}), "
+                f"{extra.size} extra (e.g. {extra[:5].tolist()})",
+            )
+
+        # Stage 4: fastpath differential — flipping the expansion path
+        # must reproduce the *identical* schedule, not just a correct one.
+        try:
+            flipped = run_monitored(
+                case, check_every=check_every,
+                fastpath=not case.build_config().fastpath,
+            )
+        except ReproError as exc:
+            return fail("fastpath-diff", f"{type(exc).__name__}: {exc}")
+        if flipped.cycles != result.cycles:
+            return fail("fastpath-diff",
+                        f"cycles diverge: fastpath={result.cycles}, "
+                        f"reference={flipped.cycles}")
+        if flipped.engine.steps != result.engine.steps:
+            return fail("fastpath-diff",
+                        f"steps diverge: fastpath={result.engine.steps}, "
+                        f"reference={flipped.engine.steps}")
+        if not np.array_equal(flipped.traversal.parent,
+                              result.traversal.parent):
+            diff = np.flatnonzero(
+                flipped.traversal.parent != result.traversal.parent)
+            return fail("fastpath-diff",
+                        f"parent arrays diverge at {diff.size} vertices "
+                        f"(e.g. {diff[:5].tolist()})")
+        if not np.array_equal(flipped.traversal.visited,
+                              result.traversal.visited):
+            return fail("fastpath-diff", "visited arrays diverge")
+
+        # Stage 5: scheduler differential (heap vs calendar queue).
+        # Perturbed runs use the dedicated perturbation loop, which
+        # bypasses the scheduler choice entirely — nothing to compare.
+        if case.perturb_seed is None:
+            other = ("calendar"
+                     if case.build_config().scheduler == "heap" else "heap")
+            try:
+                swapped = run_monitored(case, check_every=check_every,
+                                        scheduler=other)
+            except ReproError as exc:
+                return fail("scheduler-diff", f"{type(exc).__name__}: {exc}")
+            if (swapped.cycles != result.cycles
+                    or swapped.engine.steps != result.engine.steps):
+                return fail(
+                    "scheduler-diff",
+                    f"schedulers diverge: heap/calendar cycles "
+                    f"{result.cycles}/{swapped.cycles}, steps "
+                    f"{result.engine.steps}/{swapped.engine.steps}")
+
+        # Stage 6: CPU PDFS baseline (reachability oracle, small cases).
+        if graph.n_vertices <= PDFS_MAX_VERTICES:
+            from repro.baselines.pdfs_cpu import run_ckl_pdfs
+            try:
+                pdfs = run_ckl_pdfs(graph, case.root)
+            except ReproError as exc:
+                return fail("pdfs-diff", f"{type(exc).__name__}: {exc}")
+            if not np.array_equal(pdfs.traversal.visited,
+                                  result.traversal.visited):
+                return fail("pdfs-diff",
+                            "visited set differs from CKL-PDFS baseline")
+
+    return None

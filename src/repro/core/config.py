@@ -15,6 +15,7 @@ breakdown are exposed as constructors:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.errors import SimulationError
 from repro.sim.device import DeviceSpec, H100, hotring_smem_bytes
@@ -77,6 +78,18 @@ class DiggerBeesConfig:
         (default).  ``False`` selects the reference NumPy implementation;
         both produce identical cycles, steps, and DFS trees — the golden
         determinism tests assert it.
+    perturb_seed / jitter:
+        Schedule-fuzzing knobs (``repro.check``): with ``perturb_seed``
+        set the engine drains same-cycle events in a seeded random order
+        instead of FIFO, and ``jitter`` adds up to that many random extra
+        cycles to every reschedule.  Both explore alternative *legal*
+        interleavings of the cost model; correctness invariants must hold
+        under every one of them.  ``jitter > 0`` requires a seed.
+    adversarial_victims:
+        Fuzzing knob: steal-victim selection picks a *random* qualifying
+        victim (seeded by ``seed``) instead of the deterministic
+        max-depth victim, widening the set of steal interleavings the
+        fuzzer can reach.  Off in production runs.
     """
 
     n_blocks: int = 4
@@ -98,6 +111,9 @@ class DiggerBeesConfig:
     max_cycles: int = 200_000_000_000
     scheduler: str = "auto"
     fastpath: bool = True
+    perturb_seed: Optional[int] = None
+    jitter: int = 0
+    adversarial_victims: bool = False
 
     def __post_init__(self) -> None:
         if self.n_blocks < 1:
@@ -149,6 +165,13 @@ class DiggerBeesConfig:
             raise SimulationError(
                 f"cold_reserve ({self.cold_reserve}) must be >= cold_cutoff "
                 f"({self.cold_cutoff})"
+            )
+        if self.jitter < 0:
+            raise SimulationError(f"jitter must be >= 0, got {self.jitter}")
+        if self.jitter and self.perturb_seed is None:
+            raise SimulationError(
+                "jitter > 0 requires perturb_seed (jitter samples come "
+                "from the schedule-perturbation RNG)"
             )
 
     @property

@@ -11,7 +11,7 @@ This is the public entry point of the core package::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -77,6 +77,7 @@ def run_diggerbees(
     device: DeviceSpec = H100,
     check_invariants: bool = False,
     record_order: bool = False,
+    instrument: Optional[Callable[[RunState], Optional[Callable[[int], None]]]] = None,
 ) -> DiggerBeesResult:
     """Run DiggerBees on ``graph`` from ``root`` on the simulated ``device``.
 
@@ -94,6 +95,11 @@ def run_diggerbees(
         beyond the paper's Table 2 semantics — the order is a valid
         discovery order of *this* unordered run, not a lexicographic
         one — and it requires tracing, so it costs memory.
+    instrument:
+        Optional instrumentation factory (``repro.check``): called with
+        the freshly built :class:`RunState` before the engine starts; it
+        may attach an invariant monitor and return a per-step observer
+        callback (or None) that the engine invokes after every step.
 
     Returns
     -------
@@ -104,6 +110,7 @@ def run_diggerbees(
     if record_order and not config.trace:
         config = config.with_overrides(trace=True)
     state = RunState(graph, root, config, device)
+    on_step = instrument(state) if instrument is not None else None
     agents = [
         WarpAgent(state, b, w)
         for b in range(config.n_blocks)
@@ -114,6 +121,9 @@ def run_diggerbees(
         is_terminated=state.is_terminated,
         max_cycles=config.max_cycles,
         scheduler=config.scheduler,
+        perturb_seed=config.perturb_seed,
+        jitter=config.jitter,
+        on_step=on_step,
     )
     engine = loop.run()
 

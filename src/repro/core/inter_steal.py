@@ -115,15 +115,27 @@ def select_victim(state: RunState, my_block: int,
 
     victim_block = state.blocks[vb]
     cutoff = state.config.cold_cutoff
-    best_rest = 0
-    best_warp = -1
-    for w in range(victim_block.n_warps):
-        rest = victim_block.cold_rest(w)
-        if rest > best_rest:
-            best_rest = rest
-            best_warp = w
-    if best_warp < 0 or best_rest < cutoff:
-        return None
+    fuzz = state.fuzz_rng
+    if fuzz is not None:
+        # Adversarial fuzzing: random qualifying warp instead of the
+        # deterministic fullest one (see intra_steal.select_victim).
+        qualifying = [
+            (w, rest) for w in range(victim_block.n_warps)
+            if (rest := victim_block.cold_rest(w)) >= cutoff
+        ]
+        if not qualifying:
+            return None
+        best_warp, best_rest = qualifying[fuzz.randrange(len(qualifying))]
+    else:
+        best_rest = 0
+        best_warp = -1
+        for w in range(victim_block.n_warps):
+            rest = victim_block.cold_rest(w)
+            if rest > best_rest:
+                best_rest = rest
+                best_warp = w
+        if best_warp < 0 or best_rest < cutoff:
+            return None
     stack = victim_block.stacks[best_warp]
     return InterStealPlan(
         victim_block=vb,
@@ -160,7 +172,20 @@ def execute_steal(state: RunState, my_block: int, leader_warp: int,
         return False
 
     amount = min(plan.amount, len(cold))
+    token_at_commit = cold.bottom
     verts, offs = cold.steal_from_bottom(amount)
+    monitor = state.monitor
+    if monitor is not None:
+        monitor.on_steal(
+            kind="remote" if plan.remote else "inter",
+            victim=(plan.victim_block, plan.victim_warp),
+            thief=(my_block, leader_warp),
+            verts=verts,
+            token_at_commit=token_at_commit,
+            observed_token=plan.observed_bottom,
+            amount=amount,
+            observed_rest=plan.observed_rest,
+        )
 
     # threadfence(); then cuda::memcpy_async ColdSeg[victim] -> HotRing[leader].
     thief_block = state.blocks[my_block]

@@ -55,8 +55,29 @@ def select_victim(state: RunState, block: BlockState,
     """Step 1 of Algorithm 3: scan peers, pick max ``hot_rest`` >= cutoff.
 
     Returns None when no peer qualifies (all below ``hot_cutoff``).
+
+    With ``state.fuzz_rng`` set (``adversarial_victims`` fuzzing), the
+    thief instead picks a *random* peer among all that reach the cutoff,
+    so the fuzzer explores steal interleavings the deterministic
+    max-depth scan can never produce.
     """
     cutoff = state.config.hot_cutoff
+    fuzz = state.fuzz_rng
+    if fuzz is not None:
+        qualifying = [
+            (w, rest) for w in range(block.n_warps)
+            if w != thief_warp
+            and (rest := block.hot_rest(w)) >= cutoff
+        ]
+        if not qualifying:
+            return None
+        victim, rest = qualifying[fuzz.randrange(len(qualifying))]
+        return IntraStealPlan(
+            victim_warp=victim,
+            observed_tail=_tail_token(block.stacks[victim]),
+            observed_rest=rest,
+            amount=state.config.intra_steal_amount,
+        )
     best_rest = 0
     best_warp = -1
     stacks = block.stacks
@@ -110,10 +131,26 @@ def execute_steal(state: RunState, block: BlockState, thief_warp: int,
         return False
 
     amount = min(plan.amount, _hot_rest(victim_stack))
+    # Raw commit-point token read for the invariant monitor: independent
+    # of _tail_token so a broken token read path is still caught.
     if isinstance(victim_stack, WarpStack):
+        token_at_commit = victim_stack.hot.tail
         verts, offs = victim_stack.hot.take_from_tail(amount)
     else:
+        token_at_commit = victim_stack._seg.bottom
         verts, offs = victim_stack.take_from_tail(amount)
+    monitor = state.monitor
+    if monitor is not None:
+        monitor.on_steal(
+            kind="intra",
+            victim=(block.block_id, plan.victim_warp),
+            thief=(block.block_id, thief_warp),
+            verts=verts,
+            token_at_commit=token_at_commit,
+            observed_token=plan.observed_tail,
+            amount=amount,
+            observed_rest=plan.observed_rest,
+        )
 
     # threadfence_block() then local copy into the thief's own stack.
     thief_stack = block.stacks[thief_warp]

@@ -13,6 +13,7 @@ CAS-validate on a later step) is what re-introduces realistic races.
 
 from __future__ import annotations
 
+import random
 from typing import List, Optional
 
 import numpy as np
@@ -131,6 +132,17 @@ class RunState:
 
         self.counters = SimCounters()
         self.trace: Optional[TraceLog] = TraceLog() if config.trace else None
+
+        #: Optional steal-protocol invariant monitor (``repro.check``).
+        #: None in production runs; the protocol code guards every hook
+        #: call with a None test so the hot path pays one comparison.
+        self.monitor = None
+        #: Fuzzing: seeded RNG for adversarial (random-qualifying) steal
+        #: victim selection; None keeps the deterministic max-depth scan.
+        self.fuzz_rng: Optional[random.Random] = (
+            random.Random(0x5EEDFA ^ config.seed)
+            if config.adversarial_victims else None
+        )
 
         rng = make_rng(config.seed)
         self.block_rngs = spawn(rng, config.n_blocks)

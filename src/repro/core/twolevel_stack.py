@@ -280,9 +280,16 @@ class WarpStack:
     * ``"head"`` (ablation): the newest entries move instead — this keeps
       ancestors hot but destroys traversal locality (the warp's next pop
       must immediately refill) and feeds thieves the smallest branches.
+
+    ``monitor``/``owner`` are optional instrumentation slots set by the
+    ``repro.check`` invariant monitor: when a monitor is attached, every
+    flush and refill reports the exact entries moved so the monitor can
+    assert conservation across the HotRing/ColdSeg boundary (no node lost
+    between flush and publish).  Both stay None in production runs.
     """
 
-    __slots__ = ("hot", "cold", "flush_batch", "refill_batch", "flush_policy")
+    __slots__ = ("hot", "cold", "flush_batch", "refill_batch", "flush_policy",
+                 "monitor", "owner")
 
     def __init__(self, hot_size: int, flush_batch: int, refill_batch: int,
                  cold_reserve: int = 256, configured_cold_capacity: int = 0,
@@ -300,6 +307,8 @@ class WarpStack:
         self.flush_batch = flush_batch
         self.refill_batch = refill_batch
         self.flush_policy = flush_policy
+        self.monitor = None
+        self.owner = None
 
     def __len__(self) -> int:
         return len(self.hot) + len(self.cold)
@@ -327,6 +336,9 @@ class WarpStack:
         count = min(self.flush_batch, len(self.hot))
         if count == 0:
             raise SimulationError("flush on empty HotRing")
+        monitor = self.monitor
+        if monitor is not None:
+            hot_before, cold_before = len(self.hot), len(self.cold)
         if self.flush_policy == "tail":
             verts, offs = self.hot.take_from_tail(count)
             self.cold.push_batch(verts, offs)
@@ -338,6 +350,8 @@ class WarpStack:
             verts = np.asarray([p[0] for p in pairs], dtype=_ENTRY_DTYPE)
             offs = np.asarray([p[1] for p in pairs], dtype=_ENTRY_DTYPE)
             self.cold.push_batch(verts, offs)
+        if monitor is not None:
+            monitor.on_flush(self, verts, offs, hot_before, cold_before)
         return count
 
     def can_refill(self) -> bool:
@@ -351,9 +365,14 @@ class WarpStack:
         """
         if not self.can_refill():
             raise SimulationError("refill requires empty HotRing and non-empty ColdSeg")
+        monitor = self.monitor
+        if monitor is not None:
+            hot_before, cold_before = len(self.hot), len(self.cold)
         count = min(self.refill_batch, len(self.cold), self.hot.free_slots)
         verts, offs = self.cold.pop_batch(count)
         self.hot.put_batch(verts, offs)
+        if monitor is not None:
+            monitor.on_refill(self, verts, offs, hot_before, cold_before)
         return count
 
     def snapshot(self) -> List[Tuple[int, int]]:

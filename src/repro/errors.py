@@ -63,7 +63,38 @@ class MemoryLimitExceeded(ReproError):
 
 
 class ValidationError(ReproError):
-    """Raised when an algorithm output fails a correctness check."""
+    """Raised when an algorithm output fails a correctness check.
+
+    Carries optional structured ``details`` so callers (and regression
+    tests) can assert on *what* failed rather than string-matching the
+    message.  Validators populate well-known keys:
+
+    * ``check`` — short identifier of the failing check
+      (e.g. ``"visited_mismatch"``, ``"tree_edge_missing"``);
+    * ``missing`` / ``extra`` — full vertex lists for visited-set
+      mismatches (reachable-but-unvisited / visited-but-unreachable);
+    * check-specific scalars such as ``vertex``, ``parent``, ``root``.
+    """
+
+    def __init__(self, message: str = "", **details):
+        super().__init__(message)
+        self.details = details
+
+    @property
+    def check(self):
+        """The failing check's identifier (None for legacy raisers)."""
+        return self.details.get("check")
+
+
+class InvariantViolation(SimulationError):
+    """Raised by the ``repro.check`` invariant monitor at the exact event
+    that broke a steal-protocol invariant (lost/duplicated node, CAS
+    linearizability breach, flush/publish conservation failure).
+
+    A subclass of :class:`SimulationError` because a violated invariant
+    always means the simulated protocol itself is buggy; the simulator is
+    deterministic, so the failure reproduces from the same seed.
+    """
 
 
 class BenchmarkError(ReproError):

@@ -39,11 +39,26 @@ frequency for speed: with the default of 1 the predicate is polled before
 every step (exact, bit-for-bit reproducible cycle counts); larger values
 poll every N steps, which can overshoot the final cycle count by a few
 events and is only meant for throwaway capacity sweeps.
+
+Schedule fuzzing (``repro.check``)
+----------------------------------
+``perturb_seed`` switches the loop into the *perturbed* scheduler used by
+the correctness fuzzer: tie-breaking among same-cycle events is
+randomized (instead of FIFO) and ``jitter`` adds a random 0..jitter cycle
+latency to every reschedule, both drawn from a ``random.Random`` seeded
+with ``perturb_seed``.  The perturbed schedule is still a *legal*
+interleaving of the cost model — every event still runs at or after its
+ready time and step atomicity is preserved — so any invariant or
+validation failure it surfaces is a real protocol bug, not a fuzzing
+artifact.  Runs are deterministic given the seed.  ``on_step`` is an
+optional observer called with the running step count after every executed
+step; the invariant monitor uses it to run periodic global sweeps.
 """
 
 from __future__ import annotations
 
 import heapq
+import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Protocol, Sequence
 
@@ -137,6 +152,17 @@ class EventLoop:
         Check ``is_terminated`` every this many steps.  1 (default) is
         exact; values > 1 are faster but may overshoot the final cycle
         count — never use them when cycle counts must be reproducible.
+    perturb_seed:
+        When not None, run the *perturbed* scheduler: same-cycle events
+        are drained in a random (seeded, deterministic) order instead of
+        FIFO, exploring alternative legal interleavings.  Used by the
+        ``repro.check`` schedule fuzzer; overrides ``scheduler``.
+    jitter:
+        Maximum extra latency (cycles) randomly added to each reschedule
+        under the perturbed scheduler.  Requires ``perturb_seed``.
+    on_step:
+        Optional observer called with the cumulative step count after
+        every executed step (invariant-monitor hook).
     """
 
     def __init__(
@@ -148,6 +174,9 @@ class EventLoop:
         deadlock_window: Optional[int] = None,
         scheduler: str = "auto",
         poll_interval: int = 1,
+        perturb_seed: Optional[int] = None,
+        jitter: int = 0,
+        on_step: Optional[Callable[[int], None]] = None,
     ):
         if not agents:
             raise SimulationError("event loop needs at least one agent")
@@ -159,15 +188,24 @@ class EventLoop:
             raise SimulationError(
                 f"poll_interval must be >= 1, got {poll_interval}"
             )
+        if jitter < 0:
+            raise SimulationError(f"jitter must be >= 0, got {jitter}")
+        if jitter and perturb_seed is None:
+            raise SimulationError("jitter requires perturb_seed")
         self._agents = list(agents)
         self._is_terminated = is_terminated
         self._max_cycles = int(max_cycles)
         self._deadlock_window = deadlock_window or max(10_000, 200 * len(agents))
         self._scheduler = "calendar" if scheduler == "auto" else scheduler
         self._poll_interval = int(poll_interval)
+        self._perturb_seed = perturb_seed
+        self._jitter = int(jitter)
+        self._on_step = on_step
 
     def run(self) -> EngineResult:
         """Run to termination; returns elapsed cycles and step count."""
+        if self._perturb_seed is not None:
+            return self._run_perturbed()
         if self._scheduler == "heap":
             return self._run_heap()
         return self._run_calendar()
@@ -206,6 +244,7 @@ class EventLoop:
         max_cycles = self._max_cycles
         window = self._deadlock_window
         poll = self._poll_interval
+        on_step = self._on_step
 
         while heap:
             countdown -= 1
@@ -222,6 +261,8 @@ class EventLoop:
                 now = ready_at
             outcome = agent.step(now)
             steps += 1
+            if on_step is not None:
+                on_step(steps)
             if outcome.made_progress:
                 stale = 0
             else:
@@ -266,6 +307,7 @@ class EventLoop:
         max_cycles = self._max_cycles
         window = self._deadlock_window
         poll = self._poll_interval
+        on_step = self._on_step
 
         while times:
             t = times[0]
@@ -286,6 +328,8 @@ class EventLoop:
                     now = t
                 outcome = agent.step(now)
                 steps += 1
+                if on_step is not None:
+                    on_step(steps)
                 if outcome.made_progress:
                     stale = 0
                 else:
@@ -308,5 +352,72 @@ class EventLoop:
                         b2.append(agent)
             pop_time(times)
             del buckets[t]
+
+        return EngineResult(cycles=now, steps=steps, agents=len(self._agents))
+
+    # ------------------------------------------------------------------
+    def _run_perturbed(self) -> EngineResult:
+        """Schedule fuzzer: randomized tie-breaking plus latency jitter.
+
+        A binary heap over ``(ready_at, rand, seq, agent)`` entries:
+        ``rand`` scrambles the order of same-cycle events (FIFO in the
+        production schedulers) and ``seq`` keeps the comparison total so
+        agents are never compared.  With ``jitter > 0`` each reschedule
+        lands ``cost + U[0, jitter]`` cycles out.  Every choice is drawn
+        from ``random.Random(perturb_seed)``, so a (seed, jitter) pair
+        names one concrete interleaving exactly.
+        """
+        rnd = random.Random(self._perturb_seed)
+        randbits = rnd.getrandbits
+        jitter = self._jitter
+        heap = [(0, randbits(32), seq, agent)
+                for seq, agent in enumerate(self._agents)]
+        heapq.heapify(heap)
+        next_seq = len(self._agents)
+        now = 0
+        steps = 0
+        stale = 0
+        countdown = 1
+
+        pop = heapq.heappop
+        push = heapq.heappush
+        is_terminated = self._is_terminated
+        max_cycles = self._max_cycles
+        window = self._deadlock_window
+        poll = self._poll_interval
+        on_step = self._on_step
+
+        while heap:
+            countdown -= 1
+            if countdown == 0:
+                if is_terminated():
+                    break
+                countdown = poll
+            ready_at, _, _, agent = pop(heap)
+            if ready_at > now:
+                if ready_at > max_cycles:
+                    raise self._over_budget(ready_at, steps)
+                now = ready_at
+            outcome = agent.step(now)
+            steps += 1
+            if on_step is not None:
+                on_step(steps)
+            if outcome.made_progress:
+                stale = 0
+            else:
+                stale += 1
+                if stale > window:
+                    raise self._deadlocked(stale, now)
+            if not outcome.done:
+                cost = outcome.cost
+                if cost < 1:
+                    raise SimulationError(
+                        f"agent {agent!r} returned non-positive cost "
+                        f"{cost} without finishing"
+                    )
+                if jitter:
+                    cost += rnd.randrange(jitter + 1)
+                push(heap, (now + cost, randbits(32), next_seq, agent))
+                next_seq += 1
 
         return EngineResult(cycles=now, steps=steps, agents=len(self._agents))

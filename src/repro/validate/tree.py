@@ -41,7 +41,13 @@ __all__ = [
 
 
 def check_visited_matches_reachable(graph: CSRGraph, result: TraversalResult) -> None:
-    """Raise unless ``visited`` equals the true reachable set from the root."""
+    """Raise unless ``visited`` equals the true reachable set from the root.
+
+    The raised :class:`ValidationError` carries the *complete* missing and
+    extra vertex lists in ``details`` (keys ``missing`` / ``extra``), so
+    callers can assert on exactly which vertices were dropped or invented
+    rather than parsing the truncated message.
+    """
     truth = reachable_mask(graph, result.root)
     if not np.array_equal(truth, result.visited.astype(bool)):
         missing = np.flatnonzero(truth & ~result.visited)
@@ -49,7 +55,11 @@ def check_visited_matches_reachable(graph: CSRGraph, result: TraversalResult) ->
         raise ValidationError(
             f"visited set mismatch: {missing.size} reachable-but-unvisited "
             f"(e.g. {missing[:5].tolist()}), {extra.size} visited-but-unreachable "
-            f"(e.g. {extra[:5].tolist()})"
+            f"(e.g. {extra[:5].tolist()})",
+            check="visited_mismatch",
+            root=int(result.root),
+            missing=missing.tolist(),
+            extra=extra.tolist(),
         )
 
 
@@ -65,18 +75,23 @@ def check_tree_validity(graph: CSRGraph, result: TraversalResult) -> None:
     root = result.root
     n = graph.n_vertices
     if parent.shape != (n,):
-        raise ValidationError(f"parent has shape {parent.shape}, expected ({n},)")
+        raise ValidationError(
+            f"parent has shape {parent.shape}, expected ({n},)",
+            check="parent_shape", shape=tuple(parent.shape), expected=(n,))
     if not visited[root]:
-        raise ValidationError(f"root {root} not marked visited")
+        raise ValidationError(f"root {root} not marked visited",
+                              check="root_unvisited", root=int(root))
     if parent[root] != ROOT_PARENT:
-        raise ValidationError(f"parent[root] = {parent[root]}, expected {ROOT_PARENT}")
+        raise ValidationError(
+            f"parent[root] = {parent[root]}, expected {ROOT_PARENT}",
+            check="root_parent", root=int(root), parent=int(parent[root]))
 
     unvisited_bad = np.flatnonzero(~visited & (parent != UNVISITED_PARENT))
     if unvisited_bad.size:
         raise ValidationError(
             f"{unvisited_bad.size} unvisited vertices have parents set "
-            f"(e.g. {unvisited_bad[:5].tolist()})"
-        )
+            f"(e.g. {unvisited_bad[:5].tolist()})",
+            check="unvisited_with_parent", vertices=unvisited_bad.tolist())
 
     nodes = np.flatnonzero(visited)
     for v in nodes:
@@ -84,11 +99,17 @@ def check_tree_validity(graph: CSRGraph, result: TraversalResult) -> None:
             continue
         p = int(parent[v])
         if p < 0:
-            raise ValidationError(f"visited vertex {v} has parent {p}")
+            raise ValidationError(f"visited vertex {v} has parent {p}",
+                                  check="visited_without_parent",
+                                  vertex=int(v), parent=p)
         if not visited[p]:
-            raise ValidationError(f"vertex {v}'s parent {p} is not visited")
+            raise ValidationError(f"vertex {v}'s parent {p} is not visited",
+                                  check="parent_unvisited",
+                                  vertex=int(v), parent=p)
         if not graph.has_edge(p, v):
-            raise ValidationError(f"tree edge ({p} -> {v}) is not a graph edge")
+            raise ValidationError(
+                f"tree edge ({p} -> {v}) is not a graph edge",
+                check="tree_edge_missing", vertex=int(v), parent=p)
 
     # Acyclicity: iteratively mark vertices whose parent chain reaches root.
     ok = np.zeros(n, dtype=bool)
@@ -104,8 +125,8 @@ def check_tree_validity(graph: CSRGraph, result: TraversalResult) -> None:
             if cur < 0 or len(chain) > n:
                 raise ValidationError(
                     f"parent chain from {v} does not reach the root "
-                    f"(cycle or dangling pointer near {chain[-1]})"
-                )
+                    f"(cycle or dangling pointer near {chain[-1]})",
+                    check="parent_cycle", vertex=int(v), chain=chain[:32])
         ok[chain] = True
 
 
@@ -150,10 +171,11 @@ def check_lexicographic(graph: CSRGraph, result: TraversalResult) -> None:
         raise ValidationError(
             f"tree differs from the lexicographic DFS tree at "
             f"{diff.size} vertices (e.g. vertex {int(diff[0])}: expected parent "
-            f"{int(ref.parent[diff[0]])}, got {int(result.parent[diff[0]])})"
-        )
+            f"{int(ref.parent[diff[0]])}, got {int(result.parent[diff[0]])})",
+            check="lexicographic_tree", vertices=diff.tolist())
     if result.order.size and not np.array_equal(ref.order, result.order):
-        raise ValidationError("discovery order differs from lexicographic DFS order")
+        raise ValidationError("discovery order differs from lexicographic DFS order",
+                              check="lexicographic_order")
 
 
 @dataclass(frozen=True)

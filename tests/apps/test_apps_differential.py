@@ -1,0 +1,155 @@
+"""Differential tests: graph applications vs networkx oracles.
+
+Each app (SCC, topological sort, cycle detection, spanning forests) is
+checked against networkx on randomized corpora — dense/sparse random
+digraphs, random DAGs, and the undirected generator families.  networkx
+is an independent implementation, so agreement here is evidence the
+apps are right, not merely self-consistent.
+"""
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.apps.cycles import find_cycle, has_cycle
+from repro.apps.scc import strongly_connected_components
+from repro.apps.spanning import spanning_forest
+from repro.apps.toposort import CycleFound, topological_sort, verify_topological_order
+from repro.core import DiggerBeesConfig, run_diggerbees
+from repro.graphs import generators as gen
+from repro.graphs.csr import from_edges
+
+CFG = DiggerBeesConfig(n_blocks=2, warps_per_block=2, hot_size=16,
+                       hot_cutoff=4, cold_cutoff=4, flush_batch=4,
+                       refill_batch=4, cold_reserve=16, seed=5)
+
+
+def random_digraph(n, m, seed):
+    rng = np.random.default_rng(seed)
+    edges = {(int(u), int(v))
+             for u, v in zip(rng.integers(0, n, m), rng.integers(0, n, m))
+             if u != v}
+    return sorted(edges)
+
+
+def random_dag(n, m, seed):
+    # Edges only from lower to higher ids: acyclic by construction.
+    return [(u, v) if u < v else (v, u)
+            for u, v in random_digraph(n, m, seed) if u != v]
+
+
+def to_nx(graph):
+    g = (networkx.DiGraph if graph.directed else networkx.Graph)()
+    g.add_nodes_from(range(graph.n_vertices))
+    g.add_edges_from((int(u), int(v)) for u, v in graph.iter_edges())
+    return g
+
+
+def assert_same_partition(labels, groups, n):
+    """Our integer labelling must induce exactly the oracle's partition."""
+    ours = {}
+    for v in range(n):
+        ours.setdefault(int(labels[v]), set()).add(v)
+    assert sorted(map(sorted, ours.values())) == sorted(map(sorted, groups))
+
+
+class TestSccVsNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_digraphs(self, seed):
+        n = 20 + 13 * seed
+        g = from_edges(n, random_digraph(n, 3 * n, seed), directed=True)
+        comp = strongly_connected_components(g)
+        oracle = list(networkx.strongly_connected_components(to_nx(g)))
+        assert_same_partition(comp, oracle, n)
+
+    def test_condensation_order_matches_networkx_topology(self):
+        """Tarjan ids are a reverse topological order of the condensation:
+        every condensation arc must go from a higher id to a lower one."""
+        g = from_edges(40, random_digraph(40, 120, 99), directed=True)
+        comp = strongly_connected_components(g)
+        for u, v in g.iter_edges():
+            if comp[u] != comp[v]:
+                assert comp[u] > comp[v]
+
+
+class TestToposortVsNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_dags(self, seed):
+        n = 15 + 11 * seed
+        g = from_edges(n, sorted(set(random_dag(n, 2 * n, seed))),
+                       directed=True)
+        nxg = to_nx(g)
+        assert networkx.is_directed_acyclic_graph(nxg)
+        order = topological_sort(g)
+        verify_topological_order(g, order)
+        # Cross-check with the oracle's definition directly.
+        pos = {int(v): i for i, v in enumerate(order)}
+        for u, v in nxg.edges:
+            assert pos[u] < pos[v]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_cyclic_digraphs_agree_with_oracle(self, seed):
+        n = 18 + 9 * seed
+        g = from_edges(n, random_digraph(n, 3 * n, seed), directed=True)
+        if networkx.is_directed_acyclic_graph(to_nx(g)):
+            verify_topological_order(g, topological_sort(g))
+        else:
+            with pytest.raises(CycleFound):
+                topological_sort(g)
+
+
+class TestCyclesVsNetworkx:
+    def corpus(self):
+        yield gen.binary_tree(6)                        # acyclic
+        yield gen.path_graph(30)                        # acyclic
+        yield gen.cycle_graph(12)                       # one cycle
+        yield gen.road_network(200, seed=5)
+        yield gen.small_world(80, k=4, seed=5)
+        yield gen.preferential_attachment(90, m=2, seed=5)
+
+    def test_has_cycle_matches_reachable_subgraph_oracle(self):
+        for g in self.corpus():
+            res = run_diggerbees(g, 0, config=CFG).traversal
+            nodes = [v for v in range(g.n_vertices) if res.visited[v]]
+            sub = to_nx(g).subgraph(nodes)
+            oracle = sub.number_of_edges() >= sub.number_of_nodes()
+            assert has_cycle(g, res) == oracle, g.name
+
+    def test_find_cycle_witness_is_a_real_cycle(self):
+        for g in self.corpus():
+            res = run_diggerbees(g, 0, config=CFG).traversal
+            cycle = find_cycle(g, res)
+            if cycle is None:
+                assert not has_cycle(g, res)
+                continue
+            assert len(set(cycle)) == len(cycle)
+            for a, b in zip(cycle, cycle[1:]):
+                assert g.has_edge(a, b)
+            if len(cycle) > 1:
+                assert g.has_edge(cycle[-1], cycle[0])
+
+
+class TestSpanningVsNetworkx:
+    def corpus(self):
+        yield gen.path_graph(40)
+        yield from_edges(6, [(0, 1), (1, 0), (1, 2), (2, 1),
+                             (3, 4), (4, 3)], name="three-components")
+        yield gen.road_network(150, seed=7)
+        yield gen.delaunay_mesh(120, seed=7)
+
+    def test_components_match_networkx(self):
+        for g in self.corpus():
+            forest = spanning_forest(g, config=CFG)
+            oracle = list(networkx.connected_components(to_nx(g)))
+            assert forest.n_components == len(oracle)
+            assert_same_partition(forest.component, oracle, g.n_vertices)
+
+    def test_forest_edges_are_real_and_spanning(self):
+        for g in self.corpus():
+            forest = spanning_forest(g, config=CFG)
+            edges = forest.tree_edges()
+            for p, c in edges:
+                assert g.has_edge(int(p), int(c))
+            # |V| - #components tree edges <=> a spanning forest.
+            assert len(edges) == g.n_vertices - forest.n_components

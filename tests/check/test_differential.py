@@ -1,0 +1,94 @@
+"""Tests for the differential oracle ladder and fuzz-case generation."""
+
+import pytest
+
+from repro.check.cases import FAMILIES, FuzzCase, case_from_seed
+from repro.check.differential import (
+    case_from_json,
+    case_to_json,
+    check_case,
+)
+
+
+class TestCaseGeneration:
+    def test_seed_determinism(self):
+        for seed in range(30):
+            assert case_from_seed(seed) == case_from_seed(seed)
+            assert (case_from_seed(seed, stress=True)
+                    == case_from_seed(seed, stress=True))
+
+    @pytest.mark.parametrize("stress", [False, True])
+    def test_every_seed_yields_a_buildable_case(self, stress):
+        """Config validation and graph construction must never reject a
+        generated case — an invalid case would crash the fuzz loop
+        instead of testing the protocol."""
+        for seed in range(60):
+            case = case_from_seed(seed, stress=stress)
+            case.build_config()  # raises SimulationError if inconsistent
+            if seed < 20:
+                g = case.build_graph()
+                assert g.n_vertices >= 4
+
+    def test_seed_space_covers_families_and_modes(self):
+        cases = [case_from_seed(s) for s in range(120)]
+        assert {c.family for c in cases} == set(FAMILIES)
+        assert any(c.perturb_seed is not None for c in cases)
+        assert any(c.perturb_seed is None for c in cases)
+        assert any(c.adversarial_victims for c in cases)
+        assert any(not c.two_level for c in cases)
+        assert any(c.n_gpus > 1 for c in cases)
+
+    def test_json_roundtrip(self):
+        case = case_from_seed(17, stress=True).with_(shrunk_from=17)
+        assert case_from_json(case_to_json(case)) == case
+
+    def test_describe_mentions_key_parameters(self):
+        case = case_from_seed(4, stress=True)
+        desc = case.describe()
+        assert f"seed={case.seed}" in desc
+        assert case.family in desc
+
+
+class TestOracleLadder:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_clean_seeds_pass(self, seed):
+        assert check_case(case_from_seed(seed)) is None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clean_stress_seeds_pass(self, seed):
+        assert check_case(case_from_seed(seed, stress=True),
+                          stress=True) is None
+
+    def test_failure_report_and_repro_command(self):
+        case = case_from_seed(0, stress=True)
+        failure = check_case(case, mutation="flush_publish_drop",
+                             stress=True)
+        assert failure is not None
+        assert failure.stage == "invariants"
+        cmd = failure.repro_command
+        assert cmd == ("python -m repro.check repro 0 "
+                       "--stress --mutation flush_publish_drop")
+        report = failure.report()
+        assert "FAIL [invariants]" in report
+        assert cmd in report
+
+    def test_repro_command_replays_identically(self):
+        """The command the fuzzer prints must rebuild the exact case and
+        hit the same failure stage."""
+        original = check_case(case_from_seed(0, stress=True),
+                              mutation="refill_double_pop", stress=True)
+        replay = check_case(case_from_seed(0, stress=True),
+                            mutation="refill_double_pop", stress=True)
+        assert original is not None and replay is not None
+        assert replay.stage == original.stage
+        assert replay.message == original.message
+
+    def test_shrunk_case_repro_uses_json_spec(self):
+        case = case_from_seed(0, stress=True).with_(shrunk_from=0)
+        failure = check_case(case, mutation="flush_publish_drop",
+                             stress=True)
+        assert failure is not None
+        assert "--case '" in failure.repro_command
+        # The embedded spec must round-trip to the same case.
+        spec = failure.repro_command.split("--case '")[1].split("'")[0]
+        assert case_from_json(spec) == case

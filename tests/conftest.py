@@ -1,12 +1,34 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis settings profiles for the test suite.
+
+Two profiles (select with ``HYPOTHESIS_PROFILE=dev|ci``; CI machines —
+anything with ``CI`` set — default to ``ci``, everything else to ``dev``):
+
+* ``dev`` — randomized exploration with a generous deadline; each
+  failure prints its reproduction blob (``@reproduce_failure``).
+* ``ci`` — derandomized (the seed is fixed, so CI never flakes on a
+  fresh example) and deadline-free (shared runners have noisy clocks).
+
+Individual tests still set ``max_examples`` locally — example *count* is
+a per-property cost decision; determinism and deadlines are fleet-wide
+policy and live here.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.graphs import generators as gen
 from repro.graphs.csr import CSRGraph, from_adjacency, from_edges
+
+settings.register_profile("dev", deadline=1000, print_blob=True)
+settings.register_profile("ci", derandomize=True, deadline=None,
+                          print_blob=True)
+settings.load_profile(os.environ.get(
+    "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"))
 
 
 @pytest.fixture

@@ -78,7 +78,7 @@ class TestCorrectness:
             run_diggerbees(tiny_path, 42, config=SMALL_CFG)
 
     @given(seed=st.integers(0, 10_000))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_property_random_graphs_yield_valid_trees(self, seed):
         rng = make_rng(seed)
         n = int(rng.integers(2, 120))

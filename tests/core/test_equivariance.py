@@ -25,7 +25,7 @@ CFG = DiggerBeesConfig(n_blocks=2, warps_per_block=2, hot_size=16,
 
 class TestRelabelEquivariance:
     @given(seed=st.integers(0, 5000))
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_visited_set_maps_through_permutation(self, seed):
         g = gen.co_purchase(200, seed=seed)
         perm_g, perm = random_relabel(g, seed=seed + 1)
@@ -47,7 +47,7 @@ class TestRelabelEquivariance:
 
 class TestRootInvariance:
     @given(seed=st.integers(0, 5000))
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_any_root_covers_the_component(self, seed):
         rng = make_rng(seed)
         g = gen.delaunay_mesh(150, seed=seed)  # connected

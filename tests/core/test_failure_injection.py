@@ -114,8 +114,12 @@ class TestMissingVisitedCas:
         broken = res.traversal.__class__(
             root=res.traversal.root, visited=res.traversal.visited,
             parent=parent, order=res.traversal.order)
-        with pytest.raises(ValidationError):
+        with pytest.raises(ValidationError) as exc:
             validate_traversal(g, broken)
+        # Structured details must name the corrupted edge exactly.
+        assert exc.value.check == "tree_edge_missing"
+        assert exc.value.details["vertex"] == victim
+        assert exc.value.details["parent"] == stranger
 
 
 class TestLostWork:

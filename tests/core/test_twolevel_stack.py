@@ -108,7 +108,7 @@ class TestHotRing:
 
     @given(st.lists(st.sampled_from(["push", "pop"]), max_size=200),
            st.integers(min_value=4, max_value=16))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_matches_list_model(self, ops, size):
         """A HotRing with only owner ops behaves as a bounded LIFO list."""
         h = HotRing(size)
@@ -171,7 +171,7 @@ class TestColdSeg:
 
     @given(st.lists(st.tuples(st.sampled_from(["push", "pop", "steal"]),
                               st.integers(1, 5)), max_size=100))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_matches_deque_model(self, ops):
         """ColdSeg behaves as a deque: push/pop at top, steal at bottom."""
         c = ColdSeg(4)
@@ -271,7 +271,7 @@ class TestWarpStack:
             WarpStack(hot_size=4, flush_batch=4, refill_batch=2)
 
     @given(st.lists(st.sampled_from(["push", "pop"]), min_size=1, max_size=300))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_property_flush_refill_transparent(self, ops):
         """With automatic flush/refill, the two-level stack is
         observationally a plain unbounded LIFO stack."""

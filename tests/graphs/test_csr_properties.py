@@ -18,7 +18,7 @@ def random_graph(seed, n_max=80, directed=True):
 
 
 @given(seed=st.integers(0, 10**6))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_degree_sum_equals_edges(seed):
     n, edges = random_graph(seed)
     g = from_edges(n, edges, directed=True)
@@ -26,7 +26,7 @@ def test_degree_sum_equals_edges(seed):
 
 
 @given(seed=st.integers(0, 10**6))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_edge_array_roundtrip(seed):
     """from_edges(edge_array()) reproduces the graph exactly."""
     n, edges = random_graph(seed)
@@ -37,7 +37,7 @@ def test_edge_array_roundtrip(seed):
 
 
 @given(seed=st.integers(0, 10**6))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_symmetrize_is_idempotent_and_symmetric(seed):
     n, edges = random_graph(seed)
     g = from_edges(n, edges, directed=True)
@@ -49,7 +49,7 @@ def test_symmetrize_is_idempotent_and_symmetric(seed):
 
 
 @given(seed=st.integers(0, 10**6))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_permute_preserves_structure(seed):
     n, edges = random_graph(seed)
     g = from_edges(n, edges, directed=True, dedupe=True)
@@ -65,7 +65,7 @@ def test_permute_preserves_structure(seed):
 
 
 @given(seed=st.integers(0, 10**6))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_reverse_preserves_degree_totals(seed):
     n, edges = random_graph(seed)
     g = from_edges(n, edges, directed=True, dedupe=True)
@@ -77,7 +77,7 @@ def test_reverse_preserves_degree_totals(seed):
 
 
 @given(seed=st.integers(0, 10**6))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_mtx_roundtrip_random_graphs(seed):
     import io
 

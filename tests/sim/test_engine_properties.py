@@ -24,7 +24,7 @@ class ScriptedAgent:
 
 @given(st.lists(st.lists(st.integers(1, 50), min_size=1, max_size=12),
                 min_size=1, max_size=6))
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=80)
 def test_agents_run_at_their_cumulative_cost_times(cost_lists):
     """Each agent's k-th step must occur at the sum of its first k-1
     costs — agents are independent clocks merged by the scheduler."""
@@ -41,7 +41,7 @@ def test_agents_run_at_their_cumulative_cost_times(cost_lists):
 
 
 @given(st.lists(st.integers(1, 30), min_size=2, max_size=30))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_global_order_is_nondecreasing_in_time(costs):
     """Interleaved execution must be globally time-ordered."""
     order: List[int] = []
@@ -58,7 +58,7 @@ def test_global_order_is_nondecreasing_in_time(costs):
 
 @given(st.integers(0, 2**31), st.lists(st.integers(1, 9), min_size=1,
                                        max_size=8))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_runs_are_reproducible(seed, costs):
     """Two identical schedules produce identical engine results."""
     r1 = EventLoop([ScriptedAgent(costs)], is_terminated=lambda: False).run()

@@ -79,7 +79,7 @@ class TestErrors:
 
 class TestPropertyAgainstChainWalk:
     @given(seed=st.integers(0, 10_000))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_matches_parent_chain_walk(self, seed):
         """Euler ancestry must agree with walking the parent chain."""
         rng = np.random.default_rng(seed)

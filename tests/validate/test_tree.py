@@ -53,8 +53,11 @@ class TestTreeValidity:
         # Claim parent[3] = 0, but (0,3) is not an edge.
         parent = [ROOT_PARENT, 0, 1, 0]
         r = make_result(g, 0, parent, [True] * 4)
-        with pytest.raises(ValidationError, match="not a graph edge"):
+        with pytest.raises(ValidationError, match="not a graph edge") as exc:
             check_tree_validity(g, r)
+        assert exc.value.check == "tree_edge_missing"
+        assert exc.value.details["vertex"] == 3
+        assert exc.value.details["parent"] == 0
 
     def test_unvisited_parent_pointer_rejected(self):
         g = gen.path_graph(3)
@@ -69,8 +72,10 @@ class TestTreeValidity:
         parent = [ROOT_PARENT, 0, 1]
         visited = [True, True, False]
         r = make_result(g, 0, parent, visited)
-        with pytest.raises(ValidationError, match="unvisited"):
+        with pytest.raises(ValidationError, match="unvisited") as exc:
             check_tree_validity(g, r)
+        assert exc.value.check == "unvisited_with_parent"
+        assert exc.value.details["vertices"] == [2]
 
     def test_cycle_in_parents_rejected(self):
         g = gen.cycle_graph(4)
@@ -95,16 +100,36 @@ class TestVisitedCheck:
         broken = TraversalResult(root=0, visited=r.visited.copy(),
                                  parent=r.parent, order=r.order)
         broken.visited[9] = False
-        with pytest.raises(ValidationError, match="mismatch"):
+        with pytest.raises(ValidationError, match="mismatch") as exc:
             check_visited_matches_reachable(tiny_path, broken)
+        # The error must identify the dropped vertex, not just complain.
+        assert exc.value.check == "visited_mismatch"
+        assert exc.value.details["missing"] == [9]
+        assert exc.value.details["extra"] == []
+        assert exc.value.details["root"] == 0
 
     def test_extra_vertex(self, disconnected_graph):
         r = serial_dfs(disconnected_graph, 0)
         broken = TraversalResult(root=0, visited=r.visited.copy(),
                                  parent=r.parent, order=r.order)
         broken.visited[4] = True
-        with pytest.raises(ValidationError, match="mismatch"):
+        with pytest.raises(ValidationError, match="mismatch") as exc:
             check_visited_matches_reachable(disconnected_graph, broken)
+        assert exc.value.check == "visited_mismatch"
+        assert exc.value.details["missing"] == []
+        assert exc.value.details["extra"] == [4]
+
+    def test_many_missing_vertices_all_listed(self, small_road):
+        """details['missing'] carries the complete list, not the
+        truncated handful shown in the message."""
+        r = serial_dfs(small_road, 0)
+        broken = TraversalResult(root=0, visited=r.visited.copy(),
+                                 parent=r.parent, order=r.order)
+        dropped = np.flatnonzero(r.visited)[10:30]
+        broken.visited[dropped] = False
+        with pytest.raises(ValidationError) as exc:
+            check_visited_matches_reachable(small_road, broken)
+        assert exc.value.details["missing"] == dropped.tolist()
 
 
 class TestDfsProperty:
