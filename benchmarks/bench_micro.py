@@ -79,7 +79,7 @@ def test_micro_graph_generation(benchmark):
 @pytest.mark.perf_smoke
 def test_micro_engine_sweep_json():
     """Refresh BENCH_engine.json and gate against the recorded baseline."""
-    result = micro.run_micro(repeats=1)
+    result = micro.run_micro(repeats=3)
     out = REPO_ROOT / "BENCH_engine.json"
     out.write_text(json.dumps(result, indent=1) + "\n")
 

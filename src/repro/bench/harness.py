@@ -192,10 +192,68 @@ def run_method(method: str, graph: CSRGraph, root: int,
     return ALL_METHODS[method](graph, root, cfg)
 
 
+#: Worker-side cache of graphs attached from shared memory, keyed by the
+#: first segment name (unique per export).  Bounded: a sweep touches a
+#: handful of graphs, but a long-lived worker in a persistent pool must
+#: not accumulate mappings without limit.
+_WORKER_GRAPH_CACHE: Dict[str, tuple] = {}
+_WORKER_GRAPH_CACHE_MAX = 32
+
+
+def _resolve_task_graph(graph):
+    """Turn a shared-memory spec back into a graph (workers only)."""
+    from repro.graphs.shm import SPEC_KEY, attach_csr
+
+    if not (isinstance(graph, dict) and graph.get(SPEC_KEY)):
+        return graph
+    key = graph["segments"][0][0]
+    hit = _WORKER_GRAPH_CACHE.get(key)
+    if hit is not None:
+        return hit[0]
+    attached, handles = attach_csr(graph)
+    if len(_WORKER_GRAPH_CACHE) >= _WORKER_GRAPH_CACHE_MAX:
+        # FIFO eviction; the handles drop with the entry and the
+        # mapping is released when the last reference dies.
+        _WORKER_GRAPH_CACHE.pop(next(iter(_WORKER_GRAPH_CACHE)))
+    _WORKER_GRAPH_CACHE[key] = (attached, handles)
+    return attached
+
+
 def _execute_task(task) -> PerfSample:
     """Module-level worker (picklable) for the process-pool fan-out."""
     method, graph, root, cfg = task
-    return ALL_METHODS[method](graph, root, cfg)
+    return ALL_METHODS[method](_resolve_task_graph(graph), root, cfg)
+
+
+#: Persistent fan-out pool.  Spinning up a ProcessPoolExecutor per call
+#: costs worker spawns plus interpreter warm-up; sweeps issue many
+#: fan-outs back to back, so the pool lives across calls and is resized
+#: only when ``jobs`` changes.  ``atexit`` tears it down.
+_POOL = None
+_POOL_JOBS = 0
+
+
+def _get_pool(jobs: int):
+    global _POOL, _POOL_JOBS
+    if _POOL is not None and _POOL_JOBS != jobs:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+    if _POOL is None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+        import atexit
+
+        atexit.register(_shutdown_pool)
+    return _POOL
+
+
+def _shutdown_pool() -> None:
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
 
 
 def _fan_out(tasks: List[tuple], jobs: int) -> List[PerfSample]:
@@ -208,13 +266,47 @@ def _fan_out(tasks: List[tuple], jobs: int) -> List[PerfSample]:
     :class:`~concurrent.futures.ProcessPoolExecutor` and collecting with
     order-preserving ``Executor.map`` yields byte-identical aggregates
     for any ``jobs`` value.
+
+    Graph payloads are handed to workers zero-copy: each distinct graph
+    is exported once into shared memory (:mod:`repro.graphs.shm`) and
+    tasks carry only a tiny spec; workers attach and cache per graph.
+    Where shared memory is unavailable the graphs are pickled into the
+    tasks as before — results are identical either way.
     """
     if jobs <= 1 or len(tasks) <= 1:
         return [_execute_task(t) for t in tasks]
-    from concurrent.futures import ProcessPoolExecutor
+    from repro.graphs.shm import export_csr
 
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_execute_task, tasks))
+    exported: Dict[int, object] = {}  # id(graph) -> SharedCSR
+    try:
+        try:
+            wire_tasks = []
+            for method, graph, root, cfg in tasks:
+                handle = exported.get(id(graph))
+                if handle is None:
+                    handle = export_csr(graph)
+                    exported[id(graph)] = handle
+                wire_tasks.append((method, handle.spec, root, cfg))
+        except Exception:
+            # No shared memory here (permissions, exotic platform):
+            # fall back to pickling the graphs into the tasks.
+            for handle in exported.values():
+                handle.close()
+            exported = {}
+            wire_tasks = tasks
+        pool = _get_pool(jobs)
+        try:
+            return list(pool.map(_execute_task, wire_tasks))
+        except Exception:
+            # A broken pool (killed worker) poisons every later map on
+            # the same executor — drop it so the next call starts clean.
+            _shutdown_pool()
+            raise
+    finally:
+        # Unlink after the batch: attached workers keep their (cached)
+        # mappings; the names disappear so nothing leaks.
+        for handle in exported.values():
+            handle.close()
 
 
 def run_graph(methods: Sequence[str], graph: CSRGraph,

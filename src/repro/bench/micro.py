@@ -15,9 +15,24 @@ compare against the recorded baseline
   broken, which is a correctness bug, not a perf regression.
 
 The sweep is intentionally single-process so the numbers measure the
-engine fast path, not pool scaling; repeat counts are small because only
-the per-case *minimum* wall time is compared (robust to scheduler
-noise).
+engine fast path, not pool scaling.  Per case the recorded wall time is
+the **median** of ``repeats`` runs (median-of-3 by default) — robust to
+one-off scheduler hiccups in either direction, unlike a minimum, which
+systematically understates the cost the gate will later measure.
+
+The corpus routes through :mod:`repro.graphs.diskcache`, so only a cold
+cache pays generation cost; the hit/miss tally is part of the payload.
+
+``--turbo`` runs every case through the turbo fused loop
+(:mod:`repro.core.turbo`); cycles/steps are bit-identical to the default
+engine, so the same baseline gates both modes.  ``--record`` appends the
+run to ``benchmarks/out/trajectory.jsonl`` (timestamped) and rewrites
+the repo-root ``BENCH_engine.json`` snapshot.
+
+Gating refuses to run when any case reports ``exact_cycles == False``
+(an engine configured with ``poll_interval > 1`` can overshoot
+termination): comparing inexact cycle counts against the baseline would
+report schedule drift that is really measurement slack.
 """
 
 from __future__ import annotations
@@ -25,12 +40,16 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import statistics
 import sys
 import time
+from datetime import datetime, timezone
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import DiggerBeesConfig
 from repro.core.diggerbees import run_diggerbees
+from repro.errors import BenchmarkError
+from repro.graphs import diskcache
 from repro.graphs import generators as gen
 from repro.utils.profiling import PhaseTimer, profile_to, steps_per_second
 
@@ -39,61 +58,88 @@ __all__ = [
     "REGRESSION_FACTOR",
     "run_micro",
     "check_against_baseline",
+    "record_trajectory",
     "main",
 ]
 
 #: Wall-time factor over baseline at which the perf-smoke gate fails.
 REGRESSION_FACTOR = 2.0
 
+
+def _corpus_case(kind: str, name: str, params: Dict, seed: int) -> Callable:
+    """Builder routed through the corpus disk cache (hit == rebuild)."""
+    def build():
+        return diskcache.cached_build(
+            kind, name, params, seed,
+            lambda: getattr(gen, kind)(**params, seed=seed),
+        )
+    return build
+
+
 #: (name, graph builder, engine config) — fixed forever; changing a case
 #: invalidates the recorded baseline.
 MICRO_CASES: Tuple[Tuple[str, Callable, DiggerBeesConfig], ...] = (
-    ("road1000", lambda: gen.road_network(1000, seed=1),
+    ("road1000",
+     _corpus_case("road_network", "road1000", {"n_vertices": 1000}, 1),
      DiggerBeesConfig(n_blocks=4, warps_per_block=4, seed=1)),
-    ("road2500", lambda: gen.road_network(2500, seed=2),
+    ("road2500",
+     _corpus_case("road_network", "road2500", {"n_vertices": 2500}, 2),
      DiggerBeesConfig(n_blocks=4, warps_per_block=4, seed=2)),
-    ("pa2000", lambda: gen.preferential_attachment(2000, m=6, seed=3),
+    ("pa2000",
+     _corpus_case("preferential_attachment", "pa2000",
+                  {"n_vertices": 2000, "m": 6}, 3),
      DiggerBeesConfig(n_blocks=8, warps_per_block=4, seed=3)),
-    ("mesh1500", lambda: gen.delaunay_mesh(1500, seed=4),
+    ("mesh1500",
+     _corpus_case("delaunay_mesh", "mesh1500", {"n_vertices": 1500}, 4),
      DiggerBeesConfig(n_blocks=4, warps_per_block=8, seed=4)),
 )
 
 
 def run_micro(repeats: int = 3,
-              profile_path: Optional[str] = None) -> Dict:
+              profile_path: Optional[str] = None,
+              turbo: bool = False) -> Dict:
     """Run the fixed micro-sweep; returns the ``BENCH_engine.json`` payload.
 
-    Per case: best-of-``repeats`` wall time, plus the (deterministic)
+    Per case: median-of-``repeats`` wall time, plus the (deterministic)
     simulated cycles and step count.  Graph generation is timed as its
-    own phase and excluded from per-case wall times.
+    own phase and excluded from per-case wall times; with a warm corpus
+    cache it is a fraction of a millisecond per case (see the
+    ``graph_cache`` hit/miss tally in the payload).
     """
     timer = PhaseTimer()
     cases: List[Dict] = []
+    diskcache.reset_stats()
     with profile_to(profile_path):
         for name, build, cfg in MICRO_CASES:
+            if turbo:
+                cfg = cfg.with_overrides(turbo=True)
             with timer.phase("generate"):
                 graph = build()
-            best_wall = float("inf")
+            walls: List[float] = []
             result = None
             with timer.phase("simulate"):
                 for _ in range(max(1, repeats)):
                     t0 = time.perf_counter()
                     result = run_diggerbees(graph, 0, config=cfg)
-                    best_wall = min(best_wall, time.perf_counter() - t0)
+                    walls.append(time.perf_counter() - t0)
+            wall = statistics.median(walls)
             cases.append({
                 "name": name,
-                "wall_seconds": best_wall,
+                "wall_seconds": wall,
                 "cycles": result.cycles,
                 "steps": result.engine.steps,
                 "steps_per_second": steps_per_second(result.engine.steps,
-                                                     best_wall),
+                                                     wall),
+                "exact_cycles": result.engine.exact_cycles,
             })
     return {
         "bench": "engine_micro",
         "repeats": repeats,
+        "turbo": turbo,
         "cases": cases,
         "total_wall_seconds": sum(c["wall_seconds"] for c in cases),
         "phases": timer.as_dict(),
+        "graph_cache": diskcache.stats(),
     }
 
 
@@ -105,7 +151,19 @@ def check_against_baseline(result: Dict, baseline: Dict,
     (cycles/steps) and >``factor`` wall-time regressions are reported;
     cases absent from the baseline are ignored (new cases need a baseline
     update first).
+
+    Raises :class:`~repro.errors.BenchmarkError` when any case carries
+    ``exact_cycles == False``: inexact cycle counts (``poll_interval >
+    1`` overshoot) cannot be gated against an exact baseline.
     """
+    inexact = [c["name"] for c in result["cases"]
+               if not c.get("exact_cycles", True)]
+    if inexact:
+        raise BenchmarkError(
+            f"refusing to gate: cases {inexact} report inexact cycle "
+            f"counts (engine ran with poll_interval > 1); rerun with an "
+            f"exact engine configuration"
+        )
     problems: List[str] = []
     base_cases = {c["name"]: c for c in baseline.get("cases", [])}
     for case in result["cases"]:
@@ -129,21 +187,49 @@ def check_against_baseline(result: Dict, baseline: Dict,
     return problems
 
 
+def repo_root() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
 def default_baseline_path() -> pathlib.Path:
     """``benchmarks/baseline_micro.json`` relative to the repo root."""
-    return (pathlib.Path(__file__).resolve().parents[3]
-            / "benchmarks" / "baseline_micro.json")
+    return repo_root() / "benchmarks" / "baseline_micro.json"
+
+
+def record_trajectory(result: Dict) -> pathlib.Path:
+    """Append ``result`` (timestamped) to the perf trajectory log.
+
+    Also rewrites the repo-root ``BENCH_engine.json`` so the committed
+    snapshot tracks the latest recorded run.  Returns the trajectory
+    path.
+    """
+    out = repo_root() / "benchmarks" / "out" / "trajectory.jsonl"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    entry = dict(result)
+    entry["timestamp"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds")
+    with out.open("a", encoding="utf-8") as f:
+        f.write(json.dumps(entry) + "\n")
+    (repo_root() / "BENCH_engine.json").write_text(
+        json.dumps(result, indent=1) + "\n")
+    return out
 
 
 def render(result: Dict) -> str:
+    mode = " [turbo]" if result.get("turbo") else ""
     lines = [f"{'case':<10s} {'wall(s)':>9s} {'cycles':>10s} {'steps':>7s} "
-             f"{'steps/s':>10s}"]
+             f"{'steps/s':>10s}{mode}"]
     for c in result["cases"]:
         lines.append(
             f"{c['name']:<10s} {c['wall_seconds']:9.4f} {c['cycles']:>10d} "
             f"{c['steps']:>7d} {c['steps_per_second']:>10.0f}"
         )
-    lines.append(f"total wall: {result['total_wall_seconds']:.4f}s")
+    lines.append(f"total wall: {result['total_wall_seconds']:.4f}s "
+                 f"(median of {result['repeats']})")
+    cache = result.get("graph_cache")
+    if cache is not None:
+        lines.append(f"graph cache: {cache['hits']} hits, "
+                     f"{cache['misses']} misses")
     return "\n".join(lines)
 
 
@@ -154,9 +240,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--quick", action="store_true",
                         help="single repeat per case")
+    parser.add_argument("--turbo", action="store_true",
+                        help="run every case with the turbo fused loop "
+                             "(bit-identical cycles/steps)")
     parser.add_argument("--json", type=pathlib.Path,
                         default=pathlib.Path("BENCH_engine.json"),
                         help="output path for the machine-readable result")
+    parser.add_argument("--record", action="store_true",
+                        help="append this run to "
+                             "benchmarks/out/trajectory.jsonl and rewrite "
+                             "the repo-root BENCH_engine.json")
     parser.add_argument("--baseline", type=pathlib.Path, default=None,
                         help="baseline JSON to gate against "
                              "(default: benchmarks/baseline_micro.json)")
@@ -169,10 +262,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     result = run_micro(repeats=1 if args.quick else 3,
-                       profile_path=args.profile)
+                       profile_path=args.profile,
+                       turbo=args.turbo)
     args.json.write_text(json.dumps(result, indent=1) + "\n")
     print(render(result))
     print(f"[wrote {args.json}]")
+    if args.record:
+        trajectory = record_trajectory(result)
+        print(f"[recorded to {trajectory}]")
 
     baseline_path = args.baseline or default_baseline_path()
     if args.update_baseline:
@@ -187,7 +284,11 @@ def main(argv=None) -> int:
               f"to record one]", file=sys.stderr)
         return 0
     baseline = json.loads(baseline_path.read_text())
-    problems = check_against_baseline(result, baseline)
+    try:
+        problems = check_against_baseline(result, baseline)
+    except BenchmarkError as exc:
+        print(f"PERF-SMOKE FAIL: {exc}", file=sys.stderr)
+        return 1
     if problems:
         for p in problems:
             print(f"PERF-SMOKE FAIL: {p}", file=sys.stderr)

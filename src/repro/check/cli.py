@@ -3,10 +3,12 @@
 Subcommands::
 
     python -m repro.check fuzz [--cases N | --smoke | --seconds S]
-                               [--start-seed K] [--stress] [--no-shrink]
-    python -m repro.check repro <seed> [--stress] [--mutation NAME]
+                               [--start-seed K] [--stress] [--turbo]
+                               [--no-shrink]
+    python -m repro.check repro <seed> [--stress] [--turbo]
+                                       [--mutation NAME]
     python -m repro.check repro --case '<json>' [--mutation NAME]
-    python -m repro.check mutants [--names a,b] [--budget N]
+    python -m repro.check mutants [--names a,b] [--budget N] [--turbo]
 
 ``fuzz`` samples seed-derived cases and runs each through the oracle
 ladder, shrinking the first failure and exiting non-zero with a one-line
@@ -57,7 +59,7 @@ def cmd_fuzz(args) -> int:
         if deadline is not None and time.monotonic() >= deadline:
             break
         case = case_from_seed(seed, stress=args.stress)
-        failure = check_case(case, stress=args.stress)
+        failure = check_case(case, stress=args.stress, turbo=args.turbo)
         ran += 1
         if failure is not None:
             _echo(failure.report())
@@ -89,7 +91,8 @@ def cmd_repro(args) -> int:
         _echo("repro: need a <seed> or --case '<json>'")
         return 2
     _echo(f"case: {case.describe()}")
-    failure = check_case(case, mutation=args.mutation, stress=args.stress)
+    failure = check_case(case, mutation=args.mutation, stress=args.stress,
+                         turbo=args.turbo)
     if failure is None:
         _echo("PASS: all oracle stages agree")
         return 0
@@ -102,11 +105,20 @@ def cmd_repro(args) -> int:
 # ---------------------------------------------------------------------------
 
 def run_mutant(name: str, *, budget: int = MUTANT_CASE_BUDGET,
-               start_seed: int = 0) -> Optional[CheckFailure]:
-    """Fuzz one mutation with stress cases; return its first detection."""
+               start_seed: int = 0,
+               turbo: bool = False) -> Optional[CheckFailure]:
+    """Fuzz one mutation with stress cases; return its first detection.
+
+    ``turbo=True`` runs the primary pass under the fused turbo loop.
+    Stress cases always carry a schedule perturbation, under which turbo
+    falls back to the generic engine — so the perturbation is stripped
+    here to make the fused loop actually execute the buggy protocol.
+    """
     for seed in range(start_seed, start_seed + budget):
         case = case_from_seed(seed, stress=True)
-        failure = check_case(case, mutation=name, stress=True)
+        if turbo:
+            case = case.with_(perturb_seed=None, jitter=0)
+        failure = check_case(case, mutation=name, stress=True, turbo=turbo)
         if failure is not None:
             return failure
     return None
@@ -121,7 +133,7 @@ def cmd_mutants(args) -> int:
             _echo(f"unknown mutation {name!r}; known: {sorted(MUTATIONS)}")
             return 2
         t0 = time.monotonic()
-        failure = run_mutant(name, budget=args.budget)
+        failure = run_mutant(name, budget=args.budget, turbo=args.turbo)
         dt = time.monotonic() - t0
         if failure is None:
             missed.append(name)
@@ -161,6 +173,8 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--stress", action="store_true",
                       help="bias cases toward maximum steal contention")
     fuzz.add_argument("--no-shrink", action="store_true")
+    fuzz.add_argument("--turbo", action="store_true",
+                      help="run the primary pass under the fused turbo loop")
     fuzz.add_argument("--verbose", action="store_true")
     fuzz.set_defaults(func=cmd_fuzz)
 
@@ -169,6 +183,8 @@ def build_parser() -> argparse.ArgumentParser:
     repro.add_argument("--case", type=str, default=None,
                        help="full JSON case spec (for shrunk cases)")
     repro.add_argument("--stress", action="store_true")
+    repro.add_argument("--turbo", action="store_true",
+                       help="run the primary pass under the fused turbo loop")
     repro.add_argument("--mutation", type=str, default=None,
                        choices=sorted(MUTATIONS))
     repro.set_defaults(func=cmd_repro)
@@ -178,6 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
     mutants.add_argument("--names", type=str, default=None,
                          help="comma-separated subset (default: all)")
     mutants.add_argument("--budget", type=int, default=MUTANT_CASE_BUDGET)
+    mutants.add_argument("--turbo", action="store_true",
+                         help="run mutants under the fused turbo loop "
+                              "(perturbation stripped so turbo engages)")
     mutants.add_argument("--verbose", action="store_true")
     mutants.set_defaults(func=cmd_mutants)
     return parser

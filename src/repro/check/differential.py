@@ -13,9 +13,14 @@ fixed oracle ladder and reports the first failure (or None):
 4. **fastpath differential** — rerun with ``fastpath`` flipped; cycles,
    steps, parent and visited must be bit-identical (the fast path
    promises an *identical schedule*, not merely a correct one);
-5. **scheduler differential** — heap vs calendar-queue rerun must agree
+5. **turbo differential** — rerun with ``turbo`` flipped; the fused
+   scheduler-agent loop (:mod:`repro.core.turbo`) promises the identical
+   schedule too, so cycles, steps, parent and visited must match
+   bit-for-bit (skipped where the fused loop cannot engage: perturbed
+   schedules and one-level stacks);
+6. **scheduler differential** — heap vs calendar-queue rerun must agree
    exactly (skipped under perturbation, which bypasses both);
-6. **PDFS baseline differential** — CKL-PDFS reachability on the same
+7. **PDFS baseline differential** — CKL-PDFS reachability on the same
    graph must match (skipped on larger cases; it is the slowest oracle).
 
 Every failure carries the one-line shell command that reproduces it
@@ -55,6 +60,7 @@ class CheckFailure:
     message: str        # first line of the underlying error / mismatch
     mutation: Optional[str] = None
     stress: bool = False
+    turbo: bool = False
 
     @property
     def repro_command(self) -> str:
@@ -67,6 +73,8 @@ class CheckFailure:
             cmd += f" --case '{case_to_json(self.case)}'"
         if self.stress:
             cmd += " --stress"  # also selects the per-step sweep period
+        if self.turbo:
+            cmd += " --turbo"
         if self.mutation:
             cmd += f" --mutation {self.mutation}"
         return cmd
@@ -108,7 +116,7 @@ def run_monitored(case: FuzzCase, *, check_every: int = 64,
 
 
 def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
-               stress: bool = False,
+               stress: bool = False, turbo: bool = False,
                check_every: Optional[int] = None) -> Optional[CheckFailure]:
     """Run the full oracle ladder on ``case``; None means it passed.
 
@@ -116,6 +124,11 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
     applies the named injected bug for the whole ladder — used by the
     mutation sanity suite and by ``repro --mutation`` to replay a
     mutant's failure.
+
+    ``turbo`` runs the primary (monitored) pass with the fused turbo
+    loop; the turbo-differential rung then compares against the generic
+    engine instead of vice versa.  Bugs visible only under turbo are
+    caught either way, since both modes run on every eligible case.
 
     ``check_every`` defaults to a per-step sweep (1) in stress mode —
     transient corruption (e.g. an ABA duplicate that the victim pops a
@@ -127,12 +140,13 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
 
     def fail(stage: str, message: str) -> CheckFailure:
         return CheckFailure(case=case, stage=stage, message=str(message),
-                            mutation=mutation, stress=stress)
+                            mutation=mutation, stress=stress, turbo=turbo)
 
     with apply_mutation(mutation):
         # Stage 1: monitored run (invariant hooks + periodic sweep).
         try:
-            result = run_monitored(case, check_every=check_every)
+            result = run_monitored(case, check_every=check_every,
+                                   turbo=turbo)
         except ReproError as exc:
             return fail("invariants", f"{type(exc).__name__}: {exc}")
 
@@ -160,7 +174,7 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
         # must reproduce the *identical* schedule, not just a correct one.
         try:
             flipped = run_monitored(
-                case, check_every=check_every,
+                case, check_every=check_every, turbo=turbo,
                 fastpath=not case.build_config().fastpath,
             )
         except ReproError as exc:
@@ -184,7 +198,36 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                               result.traversal.visited):
             return fail("fastpath-diff", "visited arrays diverge")
 
-        # Stage 5: scheduler differential (heap vs calendar queue).
+        # Stage 5: turbo differential — the fused scheduler-agent loop
+        # must replay the identical schedule.  Only runs where the fused
+        # loop can actually engage (two-level, unperturbed); elsewhere
+        # turbo falls back to the generic loop and the comparison would
+        # be a self-test.
+        if case.perturb_seed is None and case.two_level:
+            try:
+                fused = run_monitored(case, check_every=check_every,
+                                      turbo=not turbo)
+            except ReproError as exc:
+                return fail("turbo-diff", f"{type(exc).__name__}: {exc}")
+            if (fused.cycles != result.cycles
+                    or fused.engine.steps != result.engine.steps):
+                return fail(
+                    "turbo-diff",
+                    f"fused loop diverges: cycles "
+                    f"{result.cycles}/{fused.cycles}, steps "
+                    f"{result.engine.steps}/{fused.engine.steps}")
+            if not np.array_equal(fused.traversal.parent,
+                                  result.traversal.parent):
+                diff = np.flatnonzero(
+                    fused.traversal.parent != result.traversal.parent)
+                return fail("turbo-diff",
+                            f"parent arrays diverge at {diff.size} vertices "
+                            f"(e.g. {diff[:5].tolist()})")
+            if not np.array_equal(fused.traversal.visited,
+                                  result.traversal.visited):
+                return fail("turbo-diff", "visited arrays diverge")
+
+        # Stage 6: scheduler differential (heap vs calendar queue).
         # Perturbed runs use the dedicated perturbation loop, which
         # bypasses the scheduler choice entirely — nothing to compare.
         if case.perturb_seed is None:
@@ -203,7 +246,7 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                     f"{result.cycles}/{swapped.cycles}, steps "
                     f"{result.engine.steps}/{swapped.engine.steps}")
 
-        # Stage 6: CPU PDFS baseline (reachability oracle, small cases).
+        # Stage 7: CPU PDFS baseline (reachability oracle, small cases).
         if graph.n_vertices <= PDFS_MAX_VERTICES:
             from repro.baselines.pdfs_cpu import run_ckl_pdfs
             try:

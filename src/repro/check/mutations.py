@@ -71,9 +71,10 @@ def _intra_lost_cas_writeback():
             state.counters.cas_failures += 1
             return False
         amount = min(plan.amount, len(victim.hot))
-        idx = (victim.hot.tail + np.arange(amount)) % victim.hot.size
-        verts = victim.hot.vertex[idx].copy()
-        offs = victim.hot.offset[idx].copy()
+        idx = [(victim.hot.tail + j) % victim.hot.size
+               for j in range(amount)]
+        verts = [victim.hot.vertex[i] for i in idx]
+        offs = [victim.hot.offset[i] for i in idx]
         # BUG: victim.hot.tail is never advanced.
         thief = block.stacks[thief_warp]
         if isinstance(thief, WarpStack):
@@ -194,9 +195,9 @@ def _intra_stale_read_aba():
             return False
         amount = min(plan.amount, len(hot))
         # BUG: read at the stale observed position instead of the live tail.
-        idx = (plan.observed_tail + np.arange(amount)) % hot.size
-        verts = hot.vertex[idx].copy()
-        offs = hot.offset[idx].copy()
+        idx = [(plan.observed_tail + j) % hot.size for j in range(amount)]
+        verts = [hot.vertex[i] for i in idx]
+        offs = [hot.offset[i] for i in idx]
         hot.tail = (hot.tail + amount) % hot.size
         thief = block.stacks[thief_warp]
         if isinstance(thief, WarpStack):

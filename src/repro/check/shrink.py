@@ -84,7 +84,7 @@ def shrink_case(
                 continue  # transformation was a no-op
             evals += 1
             result = check_case(candidate, mutation=failure.mutation,
-                                stress=failure.stress)
+                                stress=failure.stress, turbo=failure.turbo)
             if result is not None:
                 current = candidate
                 best = result

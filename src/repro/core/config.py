@@ -78,6 +78,16 @@ class DiggerBeesConfig:
         (default).  ``False`` selects the reference NumPy implementation;
         both produce identical cycles, steps, and DFS trees — the golden
         determinism tests assert it.
+    turbo:
+        Fuse the calendar-queue drain and the :class:`WarpAgent`
+        expand/pop state machine into one monomorphic inner loop
+        (:func:`repro.core.turbo.run_turbo`).  Bit-identical cycles,
+        steps, counters, and traversal output to the fast path (the
+        ``repro.check`` oracle ladder has a dedicated turbo rung).  The
+        fused loop only engages for the homogeneous two-level fastpath
+        case with no schedule perturbation; otherwise the run silently
+        falls back to the generic event loop, so ``turbo=True`` is always
+        safe to set.
     perturb_seed / jitter:
         Schedule-fuzzing knobs (``repro.check``): with ``perturb_seed``
         set the engine drains same-cycle events in a seeded random order
@@ -111,6 +121,7 @@ class DiggerBeesConfig:
     max_cycles: int = 200_000_000_000
     scheduler: str = "auto"
     fastpath: bool = True
+    turbo: bool = False
     perturb_seed: Optional[int] = None
     jitter: int = 0
     adversarial_victims: bool = False

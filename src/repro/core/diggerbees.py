@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.config import DiggerBeesConfig
 from repro.core.state import RunState
+from repro.core.turbo import run_turbo, turbo_eligible
 from repro.core.warp_dfs import WarpAgent
 from repro.errors import SimulationError
 from repro.graphs.csr import CSRGraph
@@ -116,16 +117,23 @@ def run_diggerbees(
         for b in range(config.n_blocks)
         for w in range(config.warps_per_block)
     ]
-    loop = EventLoop(
-        agents,
-        is_terminated=state.is_terminated,
-        max_cycles=config.max_cycles,
-        scheduler=config.scheduler,
-        perturb_seed=config.perturb_seed,
-        jitter=config.jitter,
-        on_step=on_step,
-    )
-    engine = loop.run()
+    if turbo_eligible(config):
+        # Fused scheduler-agent hot loop: bit-identical EngineResult,
+        # counters, and traversal output (see repro.core.turbo).
+        engine = run_turbo(
+            state, agents, max_cycles=config.max_cycles, on_step=on_step,
+        )
+    else:
+        loop = EventLoop(
+            agents,
+            is_terminated=state.is_terminated,
+            max_cycles=config.max_cycles,
+            scheduler=config.scheduler,
+            perturb_seed=config.perturb_seed,
+            jitter=config.jitter,
+            on_step=on_step,
+        )
+        engine = loop.run()
 
     if state.pending != 0:
         raise SimulationError(

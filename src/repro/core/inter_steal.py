@@ -48,7 +48,7 @@ class InterStealPlan:
 
 
 def _sample_active_blocks(state: RunState, my_block: int,
-                          rng: np.random.Generator, k: int,
+                          rng, k: int,
                           gpu_id=None) -> list:
     """Sample up to ``k`` active blocks (!= mine), with bounded retries.
 
@@ -63,23 +63,30 @@ def _sample_active_blocks(state: RunState, my_block: int,
     else:
         lo = gpu_id * cfg.blocks_per_gpu
         hi = lo + cfg.blocks_per_gpu
-    blocks = state.blocks
+    amask = state.active_mask_slab  # direct slab reads: skip property dispatch
+    draw = rng.integers
     found = []
-    attempts = 0
+    n_found = 0
     max_attempts = 4 * k + 8
-    while len(found) < k and attempts < max_attempts:
-        attempts += 1
-        b = int(rng.integers(lo, hi))
+    for _ in range(max_attempts):
+        b = int(draw(lo, hi))
         if b == my_block:
             continue
-        if blocks[b].active_mask:  # inlined `not .idle`
+        if amask[b]:  # inlined `not .idle`
             found.append(b)
+            n_found += 1
+            if n_found == k:
+                break
     return found
 
 
 def select_victim(state: RunState, my_block: int,
-                  rng: np.random.Generator) -> Optional[InterStealPlan]:
+                  rng) -> Optional[InterStealPlan]:
     """Steps 1-2 of Algorithm 4: pick a victim block, then its fullest warp.
+
+    ``rng`` is the leader's ``Generator`` or its bit-exact
+    :class:`repro.utils.fastrand.BoundedDraws` replica — only the
+    two-argument ``integers(lo, hi)`` surface is used.
 
     Returns None when no active block was found or no warp in the chosen
     block reaches ``cold_cutoff``.
@@ -100,8 +107,15 @@ def select_victim(state: RunState, my_block: int,
                 remote = True
         if not candidates:
             return None
-        # Load-aware choice: higher cumulative workload wins.
-        vb = max(candidates, key=lambda b: state.blocks[b].workload())
+        # Load-aware choice: higher cumulative workload wins (first wins
+        # ties, matching max() semantics on the sampled order).
+        if len(candidates) == 1:
+            vb = candidates[0]
+        else:
+            b0, b1 = candidates
+            blocks = state.blocks
+            vb = (b0 if blocks[b0].workload() >= blocks[b1].workload()
+                  else b1)
     else:
         # "random": the Figure 9 baseline — a uniformly random block with
         # no activity or load awareness, so probes frequently land on
@@ -129,8 +143,13 @@ def select_victim(state: RunState, my_block: int,
     else:
         best_rest = 0
         best_warp = -1
+        stacks = victim_block.stacks
         for w in range(victim_block.n_warps):
-            rest = victim_block.cold_rest(w)
+            # Inlined cold_rest: this scan runs on every leader victim
+            # selection, so it avoids the per-warp call chain.
+            s = stacks[w]
+            rest = (s.cold.top - s.cold.bottom
+                    if type(s) is WarpStack else 0)
             if rest > best_rest:
                 best_rest = rest
                 best_warp = w

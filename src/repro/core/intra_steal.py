@@ -89,7 +89,8 @@ def select_victim(state: RunState, block: BlockState,
         s = stacks[w]
         if type(s) is WarpStack:
             hot = s.hot
-            rest = hot.head - hot.tail
+            ptrs = hot._ptrs  # direct slab read: skip property dispatch
+            rest = ptrs[hot._hi] - ptrs[hot._ti]
             if rest < 0:
                 rest += hot.size
         else:

@@ -14,6 +14,7 @@ CAS-validate on a later step) is what re-introduces realistic races.
 from __future__ import annotations
 
 import random
+from array import array
 from typing import List, Optional
 
 import numpy as np
@@ -31,35 +32,63 @@ __all__ = ["BlockState", "RunState"]
 
 
 class BlockState:
-    """Per-thread-block shared state: the warps' stacks and the active mask."""
+    """Per-thread-block shared state: the warps' stacks and the active mask.
 
-    __slots__ = ("block_id", "stacks", "active_mask", "n_warps",
-                 "contention_debt", "gpu_id")
+    Structure-of-arrays backing (turbo fused loop): the 32-bit active
+    mask and the per-warp contention-debt counters can live inside
+    run-wide slabs preallocated by :class:`RunState` — ``mask_slab`` is
+    a shared list with one slot per block and ``debt`` is a
+    ``memoryview`` slice of the run's flat debt slab.  The
+    ``active_mask`` property and the indexed ``contention_debt`` reads
+    and writes address the same storage the fused loop binds locally,
+    so both views stay coherent.  A standalone ``BlockState`` allocates
+    private storage with identical semantics.
+    """
 
-    def __init__(self, block_id: int, n_warps: int, gpu_id: int = 0):
+    __slots__ = ("block_id", "stacks", "n_warps", "contention_debt",
+                 "gpu_id", "_mask_slab", "_mask_i")
+
+    def __init__(self, block_id: int, n_warps: int, gpu_id: int = 0, *,
+                 mask_slab: Optional[list] = None, mask_index: int = 0,
+                 debt: Optional[memoryview] = None):
         self.block_id = block_id
         self.gpu_id = gpu_id
         self.n_warps = n_warps
         self.stacks: List = []
-        self.active_mask = 0  # bit w set <=> warp w active (paper §3.4)
+        if mask_slab is None:
+            mask_slab, mask_index = [0], 0
+        # bit w set <=> warp w active (paper §3.4)
+        self._mask_slab = mask_slab
+        self._mask_i = mask_index
+        mask_slab[mask_index] = 0
         #: Cycles of victim-side slowdown accrued by steals against each
         #: warp (cache-line recovery + atomic serialization); charged to
         #: the victim's next step and cleared.
-        self.contention_debt = [0] * n_warps
+        self.contention_debt = (debt if debt is not None
+                                else memoryview(array("q", (0,) * n_warps)))
+
+    @property
+    def active_mask(self) -> int:
+        return self._mask_slab[self._mask_i]
+
+    @active_mask.setter
+    def active_mask(self, value: int) -> None:
+        self._mask_slab[self._mask_i] = value
 
     def set_active(self, warp: int, active: bool) -> None:
+        slab, i = self._mask_slab, self._mask_i
         if active:
-            self.active_mask |= (1 << warp)
+            slab[i] |= (1 << warp)
         else:
-            self.active_mask &= ~(1 << warp)
+            slab[i] &= ~(1 << warp)
 
     def is_active(self, warp: int) -> bool:
-        return bool(self.active_mask & (1 << warp))
+        return bool(self._mask_slab[self._mask_i] & (1 << warp))
 
     @property
     def idle(self) -> bool:
         """A block is idle when every warp's bit is clear."""
-        return self.active_mask == 0
+        return self._mask_slab[self._mask_i] == 0
 
     def workload(self) -> int:
         """Cumulative pending entries in the block (two-choice load signal)."""
@@ -67,7 +96,8 @@ class BlockState:
         for s in self.stacks:
             if type(s) is WarpStack:  # inlined len(hot) + len(cold)
                 hot, cold = s.hot, s.cold
-                d = hot.head - hot.tail
+                ptrs = hot._ptrs  # direct slab read: skip property dispatch
+                d = ptrs[hot._hi] - ptrs[hot._ti]
                 if d < 0:
                     d += hot.size
                 total += d + cold.top - cold.bottom
@@ -120,8 +150,7 @@ class RunState:
         # visited flags through a memoryview of the *same* buffer as
         # ``self.visited`` — every write through the NumPy array is
         # immediately visible here, so there is a single source of truth.
-        self.row_ptr_list = graph.row_ptr.tolist()
-        self.col_idx_list = graph.column_idx.tolist()
+        self.row_ptr_list, self.col_idx_list = graph.adjacency_lists()
         self.visited_mv = memoryview(self.visited)
 
         #: Total stack entries across every HotRing/ColdSeg.  A vertex is
@@ -147,13 +176,43 @@ class RunState:
         rng = make_rng(config.seed)
         self.block_rngs = spawn(rng, config.n_blocks)
 
+        # Structure-of-arrays slabs (turbo fused loop).  Hot entry
+        # storage, hot head/tail pointers, per-block active masks, and
+        # per-warp contention debt live in run-wide preallocated
+        # storage; the per-warp/per-block objects hold *views* into it
+        # (rows, slot indices, memoryview slices), so the fused loop can
+        # bind each slab to one local variable and index it by warp
+        # while every other code path keeps using the object API.
+        n_agents = config.n_warps
+        wpb = config.warps_per_block
+        if config.two_level:
+            # One row (plain list — see HotRing) of entry storage per
+            # warp, preallocated here so construction is one pass.
+            self.hot_vertex_slab = [[0] * config.hot_size
+                                    for _ in range(n_agents)]
+            self.hot_offset_slab = [[0] * config.hot_size
+                                    for _ in range(n_agents)]
+        else:
+            self.hot_vertex_slab = None
+            self.hot_offset_slab = None
+        # Plain lists, not array('q'): values are small non-negative
+        # indices/masks (no overflow concern) and list indexing is the
+        # cheapest subscript in CPython — these slots are read several
+        # times per simulated step.
+        self.hot_ptr_slab = [0] * (2 * n_agents)
+        self.active_mask_slab = [0] * config.n_blocks
+        self.contention_debt_slab = array("q", (0,) * n_agents)
+        debt_mv = memoryview(self.contention_debt_slab)
+
         cold_cap = max(1, n // config.n_warps)  # the paper's nv/nw sizing
         self.blocks: List[BlockState] = []
         for b in range(config.n_blocks):
-            block = BlockState(b, config.warps_per_block,
-                               gpu_id=config.gpu_of_block(b))
-            for _ in range(config.warps_per_block):
+            block = BlockState(b, wpb, gpu_id=config.gpu_of_block(b),
+                               mask_slab=self.active_mask_slab, mask_index=b,
+                               debt=debt_mv[b * wpb:(b + 1) * wpb])
+            for w in range(wpb):
                 if config.two_level:
+                    g = b * wpb + w
                     block.stacks.append(WarpStack(
                         hot_size=config.hot_size,
                         flush_batch=config.flush_batch,
@@ -161,6 +220,10 @@ class RunState:
                         cold_reserve=config.cold_reserve,
                         configured_cold_capacity=cold_cap,
                         flush_policy=config.flush_policy,
+                        hot_vertex=self.hot_vertex_slab[g],
+                        hot_offset=self.hot_offset_slab[g],
+                        hot_ptrs=self.hot_ptr_slab,
+                        hot_base=2 * g,
                     ))
                 else:
                     block.stacks.append(OneLevelStack())

@@ -1,0 +1,459 @@
+"""Turbo execution core: the fused scheduler-agent hot loop.
+
+``run_turbo`` merges the calendar-queue drain of
+:class:`repro.sim.engine.EventLoop` with the :class:`WarpAgent`
+expand/pop state machine into one monomorphic inner loop.  The generic
+engine pays one ``agent.step()`` call, one ``StepOutcome`` consume, and a
+chain of attribute reads per simulated step; the fused loop instead
+inlines the three transitions that dominate every run — expand, refill,
+and the pure idle poll — over local bindings of the structure-of-arrays
+slabs preallocated by :class:`~repro.core.state.RunState` (hot entry
+rows, the head/tail pointer slab, active masks, contention debt).
+
+Everything else — steal victim selection, the two-phase reservation
+steps, leader-warp inter-block stealing — falls back to the agent's
+generic ``step()``, so the protocol code (and the ``repro.check``
+invariant monitor hooks inside it) runs unchanged.
+
+Counter accumulation: the hot counters (edges, pops, pushes, CAS stats,
+idle polls, flush/refill stats, depth maxima) accumulate in loop locals
+and merge into :class:`~repro.sim.trace.SimCounters` additively — at the
+return points and before every ``on_step`` observer call, so any
+instrumented consumer sees exact totals.  The merge is order-independent
+(sums and maxima), so fallback steps that bump the same counters through
+the object API compose correctly with unmerged local deltas.
+
+Bit-exactness contract
+----------------------
+The fused loop replays the calendar scheduler's event order exactly
+(FIFO buckets per distinct timestamp, termination polled before every
+event) and charges identical costs, so cycles, steps, counters, traces,
+and traversal output are bit-for-bit equal to the generic engine on both
+schedulers.  The golden determinism tests and the ``repro.check`` oracle
+ladder's turbo rung assert this on every run.
+
+Eligibility: the loop only understands the homogeneous two-level
+fastpath grid with no schedule perturbation; ``turbo_eligible`` gates
+dispatch and :func:`repro.core.diggerbees.run_diggerbees` silently falls
+back to the generic engine otherwise, so ``turbo=True`` is always safe.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+from typing import Callable, Optional, Sequence
+
+from repro.core.state import RunState
+from repro.core.warp_dfs import WarpAgent, _Phase
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import EngineResult
+
+__all__ = ["turbo_eligible", "run_turbo"]
+
+#: The pristine claim method: when a mutation (``repro.check``) patches
+#: ``RunState.try_claim_vertex``, the fused loop detects the mismatch and
+#: routes claims through the patched method instead of its inline copy.
+_ORIG_CLAIM = RunState.try_claim_vertex
+
+
+def turbo_eligible(config) -> bool:
+    """True when the fused loop can run ``config`` bit-identically.
+
+    Requirements: two-level stacks (the loop addresses HotRings through
+    the SoA slabs), the expand fast path (the inline transitions mirror
+    it), no schedule perturbation (the fuzzer's randomized drain order
+    cannot be fused), and not the explicit ``"heap"`` scheduler (that
+    knob exists so golden tests can cross-check the heap drain; turbo
+    replays the calendar order).
+    """
+    return (config.turbo and config.fastpath and config.two_level
+            and config.perturb_seed is None and config.scheduler != "heap")
+
+
+def run_turbo(
+    state: RunState,
+    agents: Sequence[WarpAgent],
+    *,
+    max_cycles: int,
+    deadlock_window: Optional[int] = None,
+    on_step: Optional[Callable[[int], None]] = None,
+) -> EngineResult:
+    """Drain the simulation with the fused loop (see module docstring).
+
+    Mirrors ``EventLoop(..., scheduler="calendar", poll_interval=1)``
+    exactly: identical event order, identical costs, identical
+    termination observation point — hence identical ``EngineResult``.
+
+    Cyclic GC is paused for the duration of the drain: the run state is
+    millions of container objects, and a threshold-triggered gen-2
+    collection mid-loop scans all of them for garbage that refcounting
+    already reclaims (the loop allocates no cycles).  The previous GC
+    state is restored on every exit path.
+    """
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _drain(state, agents, max_cycles=max_cycles,
+                      deadlock_window=deadlock_window, on_step=on_step)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _drain(
+    state: RunState,
+    agents: Sequence[WarpAgent],
+    *,
+    max_cycles: int,
+    deadlock_window: Optional[int] = None,
+    on_step: Optional[Callable[[int], None]] = None,
+) -> EngineResult:
+    config = state.config
+    costs = state.costs
+    counters = state.counters
+    n_agents = len(agents)
+    window = deadlock_window or max(10_000, 200 * n_agents)
+    max_cycles = int(max_cycles)
+
+    # Shared-state locals: the SoA slabs and adjacency mirrors.  Every
+    # write goes through a view of the same storage the object APIs use,
+    # so fallback steps and monitor sweeps observe a consistent world.
+    rp = state.row_ptr_list
+    ci = state.col_idx_list
+    visited = state.visited_mv
+    parent = memoryview(state.parent)
+    masks = state.active_mask_slab
+    debts = state.contention_debt_slab
+    ptrs = state.hot_ptr_slab
+    hsize = config.hot_size
+    trace = state.trace
+    record = state.record
+    #: Local mirror of ``state.pending``.  Only expand pops/pushes change
+    #: it (steals move entries, never create or retire them), so syncing
+    #: it back before fallback steps / observer calls / returns — and
+    #: re-reading after fallbacks — keeps both views exact.
+    pending = state.pending
+
+    claim = state.try_claim_vertex
+    inline_claim = type(state).try_claim_vertex is _ORIG_CLAIM
+
+    intra = config.enable_intra_steal
+    inter = config.enable_inter_steal
+    n_blocks = config.n_blocks
+    wpb = config.warps_per_block
+
+    # Cost constants (gstack penalty is zero: two-level only).
+    c_pop = costs.hot_pop
+    c_visit_base = costs.visit_base
+    c_visit_edge = costs.visit_per_edge
+    c_push = costs.hot_push
+    c_cas = costs.visited_cas
+    c_cas_retry = costs.cas_retry
+    c_flush_base = costs.flush_base
+    c_flush_entry = costs.flush_per_entry
+    c_refill_base = costs.refill_base
+    c_refill_entry = costs.refill_per_entry
+    c_idle = costs.idle_poll
+    backoff_max = costs.idle_backoff_max
+
+    tpb = counters.tasks_per_block
+    tpw = counters.tasks_per_warp
+    # Claim tallies accumulate in flat lists (one slot per block / per
+    # agent) and merge into the counters dicts at the flush points —
+    # claims only ever happen in the inline expand, so no fallback path
+    # races these.
+    tpb_local = [0] * n_blocks
+    tpw_local = [0] * (n_blocks * wpb)
+    RUN = _Phase.RUN
+    RESERVE_INTRA = _Phase.RESERVE_INTRA
+
+    # Local counter deltas (merged at the flush points; see docstring).
+    d_edges = d_cas = d_casf = d_pops = d_pushes = d_vis = 0
+    d_polls = d_refills = d_refille = d_flushes = d_flushe = 0
+    mx_hot = mx_cold = 0
+
+    # One record per agent: the agent plus every per-warp binding the
+    # inline transitions need, unpacked once per event.
+    recs = []
+    for a in agents:
+        recs.append((
+            a, a.stack, a.stack.cold, a.block_id, a.warp_id, a._bit,
+            a.block_id * wpb + a.warp_id,  # global debt-slab index
+            a._hv, a._ho, a._hpi, a._tpi,
+            (a.block_id, a.warp_id),       # tasks_per_warp key
+        ))
+
+    pop_time = heapq.heappop
+    push_time = heapq.heappush
+    buckets = {0: recs}
+    times = [0]
+    now = 0
+    steps = 0
+    stale = 0
+
+    while times:
+        t = times[0]
+        bucket = buckets[t]
+        for rec in bucket:
+            # Termination is observed *before* time advances to this
+            # event — the exact point the generic engine polls it — so
+            # `cycles` never includes an abandoned event.
+            if pending == 0:
+                times = None  # signal: terminated, not drained
+                break
+            if t > now:
+                if t > max_cycles:
+                    raise SimulationError(
+                        f"simulation exceeded max_cycles={max_cycles} "
+                        f"(next event at {t}, steps={steps}); cost model "
+                        f"or algorithm is runaway"
+                    )
+                now = t
+            agent = rec[0]
+            done = False
+            progress = True
+            if agent.phase is RUN:
+                (_, stack, cold, bid, wid, bit, gidx,
+                 hv, ho, hpi, tpi, key) = rec
+                head = ptrs[hpi]
+                hot_empty = head == ptrs[tpi]
+                if not hot_empty or cold.top != cold.bottom:
+                    m = masks[bid]
+                    if not m & bit:
+                        masks[bid] = m | bit
+                    agent.backoff = c_idle
+                    debt = debts[gidx]
+                    if debt:
+                        debts[gidx] = 0
+                    if hot_empty:  # cold is non-empty here: refill
+                        moved = stack.refill()
+                        d_refills += 1
+                        d_refille += moved
+                        if trace is not None:
+                            record(now, bid, wid, "refill", (moved,))
+                        cost = debt + c_refill_base + c_refill_entry * moved
+                    else:
+                        # ---- inline expand (mirrors WarpAgent._expand) --
+                        pos = head - 1
+                        if pos < 0:
+                            pos = hsize - 1
+                        u = hv[pos]
+                        i = ho[pos]
+                        row_end = rp[u + 1]
+                        if i >= row_end:
+                            # Adjacency exhausted: fast pop.
+                            ptrs[hpi] = pos
+                            d_pops += 1
+                            pending -= 1
+                            if trace is not None:
+                                record(now, bid, wid, "pop", (u,))
+                            cost = debt + c_pop
+                        else:
+                            wend = i + 32  # WARP_WIDTH
+                            if wend > row_end:
+                                wend = row_end
+                            k = -1
+                            for j in range(i, wend):
+                                if not visited[ci[j]]:
+                                    k = j
+                                    break
+                            cost = (debt + c_visit_base
+                                    + c_visit_edge * (wend - i))
+                            if k < 0:
+                                # Whole window already visited.
+                                d_edges += wend - i
+                                if wend >= row_end:
+                                    ptrs[hpi] = pos
+                                    d_pops += 1
+                                    pending -= 1
+                                    cost += c_pop
+                                    if trace is not None:
+                                        record(now, bid, wid, "pop", (u,))
+                                else:
+                                    ho[pos] = wend
+                            else:
+                                d_edges += k - i + 1
+                                v = ci[k]
+                                ho[pos] = k + 1
+                                if inline_claim:
+                                    # Inlined try_claim_vertex.
+                                    d_cas += 1
+                                    if visited[v]:
+                                        d_casf += 1
+                                        claimed = False
+                                    else:
+                                        visited[v] = 1
+                                        parent[v] = u
+                                        d_vis += 1
+                                        claimed = True
+                                else:
+                                    claimed = claim(v, u)
+                                cost += c_cas
+                                if not claimed:
+                                    cost += c_cas_retry
+                                else:
+                                    tpb_local[bid] += 1
+                                    tpw_local[gidx] += 1
+                                    nxt = head + 1
+                                    if nxt == hsize:
+                                        nxt = 0
+                                    if nxt == ptrs[tpi]:  # ring full
+                                        moved = stack.flush()
+                                        d_flushes += 1
+                                        d_flushe += moved
+                                        cost += (c_flush_base
+                                                 + c_flush_entry * moved)
+                                        if trace is not None:
+                                            record(now, bid, wid, "flush",
+                                                   (moved,))
+                                        head = ptrs[hpi]
+                                        nxt = head + 1
+                                        if nxt == hsize:
+                                            nxt = 0
+                                    hv[head] = v
+                                    ho[head] = rp[v]
+                                    ptrs[hpi] = nxt
+                                    depth = nxt - ptrs[tpi]
+                                    if depth < 0:
+                                        depth += hsize
+                                    if depth > mx_hot:
+                                        mx_hot = depth
+                                    depth = cold.top - cold.bottom
+                                    if depth > mx_cold:
+                                        mx_cold = depth
+                                    d_pushes += 1
+                                    pending += 1
+                                    cost += c_push
+                                    if trace is not None:
+                                        record(now, bid, wid, "visit",
+                                               (u, v))
+                else:
+                    # Stack fully empty: idle.  Steal selection falls
+                    # back to the generic idle handler (the agent clears
+                    # its own mask bit there); the pure poll is inlined.
+                    # Calling _idle directly skips step()'s pending /
+                    # phase / emptiness re-checks, all of which this loop
+                    # has already established.
+                    m = masks[bid] & ~bit
+                    if (intra and m) or (inter and wid == 0 and m == 0
+                                         and n_blocks > 1):
+                        state.pending = pending
+                        outcome = agent._idle(now)
+                        pending = state.pending
+                        cost = outcome.cost
+                        progress = outcome.made_progress
+                        done = outcome.done
+                    else:
+                        masks[bid] = m
+                        d_polls += 1
+                        cost = agent.backoff
+                        b = cost * 2
+                        agent.backoff = (b if b < backoff_max
+                                         else backoff_max)
+                        progress = False
+            else:
+                # Reservation phases: generic two-phase steal protocol
+                # (pending > 0 is established above, so step()'s
+                # termination check is redundant here).
+                state.pending = pending
+                outcome = (agent._reserve_intra(now)
+                           if agent.phase is RESERVE_INTRA
+                           else agent._reserve_inter(now))
+                pending = state.pending
+                cost = outcome.cost
+                progress = outcome.made_progress
+                done = outcome.done
+
+            steps += 1
+            if on_step is not None:
+                # Observers (the invariant monitor's sweeps) must see
+                # exact global state: sync the mirror, merge the deltas.
+                state.pending = pending
+                counters.edges_traversed += d_edges
+                counters.cas_attempts += d_cas
+                counters.cas_failures += d_casf
+                counters.pops += d_pops
+                counters.pushes += d_pushes
+                counters.vertices_visited += d_vis
+                counters.idle_polls += d_polls
+                counters.refills += d_refills
+                counters.refill_entries += d_refille
+                counters.flushes += d_flushes
+                counters.flush_entries += d_flushe
+                d_edges = d_cas = d_casf = d_pops = d_pushes = d_vis = 0
+                d_polls = d_refills = d_refille = d_flushes = d_flushe = 0
+                if mx_hot > counters.max_hot_depth:
+                    counters.max_hot_depth = mx_hot
+                if mx_cold > counters.max_cold_depth:
+                    counters.max_cold_depth = mx_cold
+                for b2i in range(n_blocks):
+                    c2 = tpb_local[b2i]
+                    if c2:
+                        tpb[b2i] = tpb.get(b2i, 0) + c2
+                        tpb_local[b2i] = 0
+                for r2 in recs:
+                    c2 = tpw_local[r2[6]]
+                    if c2:
+                        k2 = r2[11]
+                        tpw[k2] = tpw.get(k2, 0) + c2
+                        tpw_local[r2[6]] = 0
+                on_step(steps)
+            if progress:
+                stale = 0
+            else:
+                stale += 1
+                if stale > window:
+                    raise DeadlockError(
+                        f"no progress in {stale} consecutive steps at "
+                        f"cycle {now} with work pending"
+                    )
+            if done:
+                continue
+            if cost < 1:
+                raise SimulationError(
+                    f"agent {agent!r} returned non-positive cost {cost} "
+                    f"without finishing"
+                )
+            t2 = now + cost
+            b2 = buckets.get(t2)
+            if b2 is None:
+                buckets[t2] = [rec]
+                push_time(times, t2)
+            else:
+                b2.append(rec)
+        if times is None:  # terminated mid-bucket
+            break
+        pop_time(times)
+        del buckets[t]
+
+    # Final merge: counters and the pending mirror become globally
+    # visible exactly as the generic engine leaves them.
+    state.pending = pending
+    counters.edges_traversed += d_edges
+    counters.cas_attempts += d_cas
+    counters.cas_failures += d_casf
+    counters.pops += d_pops
+    counters.pushes += d_pushes
+    counters.vertices_visited += d_vis
+    counters.idle_polls += d_polls
+    counters.refills += d_refills
+    counters.refill_entries += d_refille
+    counters.flushes += d_flushes
+    counters.flush_entries += d_flushe
+    if mx_hot > counters.max_hot_depth:
+        counters.max_hot_depth = mx_hot
+    if mx_cold > counters.max_cold_depth:
+        counters.max_cold_depth = mx_cold
+    for b2i in range(n_blocks):
+        c2 = tpb_local[b2i]
+        if c2:
+            tpb[b2i] = tpb.get(b2i, 0) + c2
+    for r2 in recs:
+        c2 = tpw_local[r2[6]]
+        if c2:
+            k2 = r2[11]
+            tpw[k2] = tpw.get(k2, 0) + c2
+    return EngineResult(cycles=now, steps=steps, agents=n_agents,
+                        exact_cycles=True)

@@ -26,7 +26,7 @@ capacity separately (``configured_capacity``) for reporting.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -42,39 +42,87 @@ class HotRing:
 
     All index arithmetic is modulo ``size``; the structure stores at most
     ``size - 1`` entries.
+
+    Structure-of-arrays backing: the head/tail pointer pair can live
+    inside a run-wide slab preallocated by
+    :class:`~repro.core.state.RunState` (``head``/``tail`` become two
+    slots of a shared plain list).  The turbo fused loop binds that slab
+    to a local variable and addresses every ring of the grid without
+    attribute dispatch, while the methods here and the ``head``/``tail``
+    properties stay the single source of truth for all other code paths
+    (steals, flushes, invariant sweeps).  A standalone ``HotRing(size)``
+    allocates its own private pointer slots, preserving the original API.
+
+    The entry arrays are plain Python lists, not NumPy arrays: the
+    owner touches one slot at a time (push/pop/peek run once per
+    simulated warp action), and a list subscript is several times
+    cheaper than ndarray indexing plus scalar unboxing.  Batch
+    operations convert at the boundary; they accept either lists or
+    NumPy arrays and return NumPy arrays (the ColdSeg side stays
+    vectorized).
     """
 
-    __slots__ = ("size", "vertex", "offset", "head", "tail")
+    __slots__ = ("size", "vertex", "offset", "_ptrs", "_hi", "_ti")
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, *,
+                 vertex: Optional[list] = None,
+                 offset: Optional[list] = None,
+                 ptrs: Optional[list] = None, base: int = 0):
         if size < 2:
             raise SimulationError(f"HotRing size must be >= 2, got {size}")
         self.size = size
-        self.vertex = np.zeros(size, dtype=_ENTRY_DTYPE)
-        self.offset = np.zeros(size, dtype=_ENTRY_DTYPE)
-        self.head = 0
-        self.tail = 0
+        self.vertex = [0] * size if vertex is None else vertex
+        self.offset = [0] * size if offset is None else offset
+        if ptrs is None:
+            ptrs, base = [0, 0], 0
+        self._ptrs = ptrs
+        self._hi = base
+        self._ti = base + 1
+        ptrs[base] = 0
+        ptrs[base + 1] = 0
+
+    # ``head``/``tail`` read/write the pointer slab so every consumer —
+    # owner, thieves, tests assigning pointers directly — observes the
+    # same storage the fused loop binds locally.
+    @property
+    def head(self) -> int:
+        return self._ptrs[self._hi]
+
+    @head.setter
+    def head(self, value: int) -> None:
+        self._ptrs[self._hi] = value
+
+    @property
+    def tail(self) -> int:
+        return self._ptrs[self._ti]
+
+    @tail.setter
+    def tail(self, value: int) -> None:
+        self._ptrs[self._ti] = value
 
     # -- state ----------------------------------------------------------
     # Hot-path methods below use branch arithmetic instead of ``%`` and
-    # ``ndarray.item`` instead of scalar indexing + ``int()``: each runs
+    # direct pointer-slab reads instead of property dispatch: each runs
     # once per simulated warp action, so constant factors matter.
 
     def __len__(self) -> int:
         """Occupancy: ``(head - tail + size) % size`` — the paper's hot_rest."""
-        d = self.head - self.tail
+        ptrs = self._ptrs
+        d = ptrs[self._hi] - ptrs[self._ti]
         return d if d >= 0 else d + self.size
 
     @property
     def is_empty(self) -> bool:
-        return self.head == self.tail
+        ptrs = self._ptrs
+        return ptrs[self._hi] == ptrs[self._ti]
 
     @property
     def is_full(self) -> bool:
-        nxt = self.head + 1
+        ptrs = self._ptrs
+        nxt = ptrs[self._hi] + 1
         if nxt == self.size:
             nxt = 0
-        return nxt == self.tail
+        return nxt == ptrs[self._ti]
 
     @property
     def free_slots(self) -> int:
@@ -83,46 +131,53 @@ class HotRing:
     # -- owner operations (at head) --------------------------------------
     def push(self, vertex: int, offset: int) -> None:
         """Fast push (Figure 2c): insert at ``head`` and advance it."""
-        head = self.head
+        ptrs = self._ptrs
+        head = ptrs[self._hi]
         nxt = head + 1
         if nxt == self.size:
             nxt = 0
-        if nxt == self.tail:
+        if nxt == ptrs[self._ti]:
             raise StackOverflowError(
                 f"push into full HotRing (size={self.size}); caller must "
                 f"flush first"
             )
         self.vertex[head] = vertex
         self.offset[head] = offset
-        self.head = nxt
+        ptrs[self._hi] = nxt
 
     def peek(self) -> Tuple[int, int]:
         """Read the top entry (at ``head - 1``) without removing it."""
-        if self.head == self.tail:
+        ptrs = self._ptrs
+        pos = ptrs[self._hi]
+        if pos == ptrs[self._ti]:
             raise SimulationError("peek on empty HotRing")
-        pos = self.head - 1
+        pos -= 1
         if pos < 0:
             pos = self.size - 1
-        return self.vertex.item(pos), self.offset.item(pos)
+        return self.vertex[pos], self.offset[pos]
 
     def update_top_offset(self, offset: int) -> None:
         """Overwrite the top entry's offset (Algorithm 1's updateTop)."""
-        if self.head == self.tail:
+        ptrs = self._ptrs
+        pos = ptrs[self._hi]
+        if pos == ptrs[self._ti]:
             raise SimulationError("update_top_offset on empty HotRing")
-        pos = self.head - 1
+        pos -= 1
         if pos < 0:
             pos = self.size - 1
         self.offset[pos] = offset
 
     def pop(self) -> Tuple[int, int]:
         """Fast pop (Figure 2d): retract ``head`` and return the entry."""
-        if self.head == self.tail:
+        ptrs = self._ptrs
+        pos = ptrs[self._hi]
+        if pos == ptrs[self._ti]:
             raise SimulationError("pop on empty HotRing")
-        pos = self.head - 1
+        pos -= 1
         if pos < 0:
             pos = self.size - 1
-        self.head = pos
-        return self.vertex.item(pos), self.offset.item(pos)
+        ptrs[self._hi] = pos
+        return self.vertex[pos], self.offset[pos]
 
     # -- batch extraction -------------------------------------------------
     def take_from_tail(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -135,17 +190,30 @@ class HotRing:
             raise SimulationError(
                 f"take_from_tail({count}) with only {len(self)} entries"
             )
-        idx = (self.tail + np.arange(count)) % self.size
-        verts = self.vertex[idx].copy()
-        offs = self.offset[idx].copy()
-        self.tail = (self.tail + count) % self.size
+        ptrs = self._ptrs
+        tail = ptrs[self._ti]
+        size = self.size
+        end = tail + count
+        if end <= size:
+            verts = np.asarray(self.vertex[tail:end], dtype=_ENTRY_DTYPE)
+            offs = np.asarray(self.offset[tail:end], dtype=_ENTRY_DTYPE)
+            if end == size:
+                end = 0
+        else:
+            end -= size
+            verts = np.asarray(self.vertex[tail:] + self.vertex[:end],
+                               dtype=_ENTRY_DTYPE)
+            offs = np.asarray(self.offset[tail:] + self.offset[:end],
+                              dtype=_ENTRY_DTYPE)
+        ptrs[self._ti] = end
         return verts, offs
 
-    def put_batch(self, verts: np.ndarray, offs: np.ndarray) -> None:
+    def put_batch(self, verts, offs) -> None:
         """Insert a batch at ``head`` preserving order (oldest first).
 
         Used for refill and by thieves installing stolen entries; the
-        oldest entry lands deepest (closest to ``tail``).
+        oldest entry lands deepest (closest to ``tail``).  Accepts NumPy
+        arrays or plain sequences; values are stored as Python ints.
         """
         count = len(verts)
         if count == 0:
@@ -154,16 +222,29 @@ class HotRing:
             raise StackOverflowError(
                 f"put_batch({count}) exceeds free space {self.free_slots}"
             )
-        idx = (self.head + np.arange(count)) % self.size
-        self.vertex[idx] = verts
-        self.offset[idx] = offs
-        self.head = (self.head + count) % self.size
+        if type(verts) is np.ndarray:
+            verts = verts.tolist()
+        if type(offs) is np.ndarray:
+            offs = offs.tolist()
+        ptrs = self._ptrs
+        head = ptrs[self._hi]
+        size = self.size
+        vl, ol = self.vertex, self.offset
+        for k in range(count):
+            vl[head] = verts[k]
+            ol[head] = offs[k]
+            head += 1
+            if head == size:
+                head = 0
+        ptrs[self._hi] = head
 
     def snapshot(self) -> List[Tuple[int, int]]:
         """Entries oldest-first (for tests and invariant checks)."""
         n = len(self)
-        idx = (self.tail + np.arange(n)) % self.size
-        return list(zip(self.vertex[idx].tolist(), self.offset[idx].tolist()))
+        tail = self._ptrs[self._ti]
+        size = self.size
+        return [(self.vertex[(tail + k) % size], self.offset[(tail + k) % size])
+                for k in range(n)]
 
 
 class ColdSeg:
@@ -293,7 +374,10 @@ class WarpStack:
 
     def __init__(self, hot_size: int, flush_batch: int, refill_batch: int,
                  cold_reserve: int = 256, configured_cold_capacity: int = 0,
-                 flush_policy: str = "tail"):
+                 flush_policy: str = "tail",
+                 hot_vertex: Optional[list] = None,
+                 hot_offset: Optional[list] = None,
+                 hot_ptrs: Optional[list] = None, hot_base: int = 0):
         if flush_batch >= hot_size or refill_batch >= hot_size:
             raise SimulationError(
                 "flush/refill batch must be smaller than hot_size"
@@ -302,7 +386,8 @@ class WarpStack:
             raise SimulationError(
                 f"flush_policy must be 'tail' or 'head', got {flush_policy!r}"
             )
-        self.hot = HotRing(hot_size)
+        self.hot = HotRing(hot_size, vertex=hot_vertex, offset=hot_offset,
+                           ptrs=hot_ptrs, base=hot_base)
         self.cold = ColdSeg(cold_reserve, configured_cold_capacity)
         self.flush_batch = flush_batch
         self.refill_batch = refill_batch
@@ -316,15 +401,18 @@ class WarpStack:
     @property
     def is_empty(self) -> bool:
         hot, cold = self.hot, self.cold
-        return hot.head == hot.tail and cold.top == cold.bottom
+        ptrs = hot._ptrs  # direct slab reads: skip property dispatch
+        return (ptrs[hot._hi] == ptrs[hot._ti]
+                and cold.top == cold.bottom)
 
     def needs_flush(self) -> bool:
         """True when a push requires flushing first (HotRing full)."""
         hot = self.hot
-        nxt = hot.head + 1
+        ptrs = hot._ptrs
+        nxt = ptrs[hot._hi] + 1
         if nxt == hot.size:
             nxt = 0
-        return nxt == hot.tail
+        return nxt == ptrs[hot._ti]
 
     def flush(self) -> int:
         """Move ``flush_batch`` HotRing entries to the ColdSeg.
@@ -356,7 +444,9 @@ class WarpStack:
 
     def can_refill(self) -> bool:
         hot, cold = self.hot, self.cold
-        return hot.head == hot.tail and cold.top != cold.bottom
+        ptrs = hot._ptrs
+        return (ptrs[hot._hi] == ptrs[hot._ti]
+                and cold.top != cold.bottom)
 
     def refill(self) -> int:
         """Move up to ``refill_batch`` newest ColdSeg entries into the HotRing.

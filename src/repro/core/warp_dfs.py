@@ -45,6 +45,7 @@ from repro.core import inter_steal, intra_steal
 from repro.core.state import RunState
 from repro.core.twolevel_stack import WarpStack
 from repro.sim.engine import StepOutcome
+from repro.utils.fastrand import wrap_generator
 
 __all__ = ["WarpAgent", "WARP_WIDTH"]
 
@@ -68,6 +69,7 @@ class WarpAgent:
     __slots__ = ("state", "block_id", "warp_id", "block", "stack", "rng",
                  "phase", "intra_plan", "inter_plan", "backoff",
                  "_two_level", "_gpenalty", "_bit", "_fastpath", "_out",
+                 "_hv", "_ho", "_ptrs", "_hpi", "_tpi", "_hsize",
                  "_c_pop", "_c_visit_base", "_c_visit_per_edge",
                  "_c_push", "_c_visited_cas", "_c_cas_retry",
                  "_c_flush_base", "_c_flush_per_entry")
@@ -79,10 +81,13 @@ class WarpAgent:
         self.block = state.blocks[block_id]
         self.stack = self.block.stacks[warp_id]
         # Per-warp RNG stream derived from the block's (deterministic).
+        # wrap_generator swaps in a bit-exact amortized replica of
+        # Generator.integers — the victim sampler's draws dominate the
+        # fallback path's cost otherwise (see repro.utils.fastrand).
         block_rng = state.block_rngs[block_id]
-        self.rng = np.random.default_rng(
+        self.rng = wrap_generator(np.random.default_rng(
             block_rng.bit_generator.seed_seq.spawn(1)[0]
-        ) if warp_id == 0 else None  # only leaders sample victims randomly
+        )) if warp_id == 0 else None  # only leaders sample victims randomly
         self.phase = _Phase.RUN
         self.intra_plan: Optional[intra_steal.IntraStealPlan] = None
         self.inter_plan: Optional[inter_steal.InterStealPlan] = None
@@ -94,6 +99,21 @@ class WarpAgent:
         self._gpenalty = 0 if self._two_level else GSTACK_PENALTY
         self._bit = 1 << warp_id
         self._fastpath = state.config.fastpath
+        # SoA fast-path bindings: the HotRing's entry lists and the
+        # run-wide head/tail pointer slab with this ring's slot indices.
+        # All alias the same storage the HotRing object exposes, so the
+        # steal/flush code paths observe every mutation made here.
+        if self._two_level:
+            hot = self.stack.hot
+            self._hv = hot.vertex
+            self._ho = hot.offset
+            self._ptrs = hot._ptrs
+            self._hpi = hot._hi
+            self._tpi = hot._ti
+            self._hsize = hot.size
+        else:
+            self._hv = self._ho = self._ptrs = None
+            self._hpi = self._tpi = self._hsize = 0
         costs = state.costs
         self._c_pop = costs.hot_pop + self._gpenalty
         self._c_visit_base = costs.visit_base + self._gpenalty
@@ -122,9 +142,9 @@ class WarpAgent:
         if self._two_level and self._fastpath:
             # Inlined _work() for the common case: two-level stack on the
             # fast path (identical costs/effects, fewer Python frames).
-            hot = stack.hot
             cold = stack.cold
-            hot_empty = hot.head == hot.tail
+            ptrs = self._ptrs
+            hot_empty = ptrs[self._hpi] == ptrs[self._tpi]
             if not hot_empty or cold.top != cold.bottom:
                 block = self.block
                 bit = self._bit
@@ -204,14 +224,19 @@ class WarpAgent:
 
         # Inline HotRing top access for the two-level case: peek, pop and
         # update_top_offset all address the same ``head - 1`` slot, and the
-        # step is atomic, so reading the pointers once is safe.
+        # step is atomic, so reading the pointers once is safe.  Reads go
+        # through the SoA bindings (pointer slab + entry memoryviews) —
+        # unboxed int64 scalars with no NumPy dispatch.
         if two_level:
-            hot = self.stack.hot
-            pos = hot.head - 1
+            ptrs = self._ptrs
+            hpi = self._hpi
+            pos = ptrs[hpi] - 1
             if pos < 0:
-                pos = hot.size - 1
-            u = hot.vertex.item(pos)
-            i = hot.offset.item(pos)
+                pos = self._hsize - 1
+            hv = self._hv
+            ho = self._ho
+            u = hv[pos]
+            i = ho[pos]
         else:
             top = self.stack
             u, i = top.peek()
@@ -219,7 +244,7 @@ class WarpAgent:
         if i >= row_end:
             # Adjacency exhausted: fast pop (offset notionally set to -1).
             if two_level:
-                hot.head = pos
+                ptrs[hpi] = pos
             else:
                 top.pop()
             counters.pops += 1
@@ -247,7 +272,7 @@ class WarpAgent:
             counters.edges_traversed += window
             if wend >= row_end:
                 if two_level:
-                    hot.head = pos
+                    ptrs[hpi] = pos
                 else:
                     top.pop()
                 counters.pops += 1
@@ -257,7 +282,7 @@ class WarpAgent:
                     state.record(now, self.block_id, self.warp_id, "pop", (u,))
             else:
                 if two_level:
-                    hot.offset[pos] = wend
+                    ho[pos] = wend
                 else:
                     top.update_top_offset(wend)
             out.cost = cost
@@ -267,7 +292,7 @@ class WarpAgent:
         counters.edges_traversed += k - i + 1
         v = ci[k]
         if two_level:
-            hot.offset[pos] = k + 1
+            ho[pos] = k + 1
         else:
             top.update_top_offset(k + 1)
         claimed = state.try_claim_vertex(v, u)
@@ -288,11 +313,13 @@ class WarpAgent:
         # Push <v | row_ptr[v]>, flushing first when the HotRing is full.
         if two_level:
             stack = self.stack
-            head = hot.head
+            hsize = self._hsize
+            tpi = self._tpi
+            head = ptrs[hpi]
             nxt = head + 1
-            if nxt == hot.size:
+            if nxt == hsize:
                 nxt = 0
-            if nxt == hot.tail:  # inlined needs_flush(): ring is full
+            if nxt == ptrs[tpi]:  # inlined needs_flush(): ring is full
                 moved = stack.flush()
                 counters.flushes += 1
                 counters.flush_entries += moved
@@ -300,17 +327,17 @@ class WarpAgent:
                 if state.trace is not None:
                     state.record(now, self.block_id, self.warp_id, "flush",
                                  (moved,))
-                head = hot.head  # the "head" flush policy retracts it
+                head = ptrs[hpi]  # the "head" flush policy retracts it
                 nxt = head + 1
-                if nxt == hot.size:
+                if nxt == hsize:
                     nxt = 0
             # Inlined hot.push(): the flush guarantees a free slot.
-            hot.vertex[head] = v
-            hot.offset[head] = state.row_ptr_list[v]
-            hot.head = nxt
-            depth = nxt - hot.tail
+            hv[head] = v
+            ho[head] = state.row_ptr_list[v]
+            ptrs[hpi] = nxt
+            depth = nxt - ptrs[tpi]
             if depth < 0:
-                depth += hot.size
+                depth += hsize
             if depth > counters.max_hot_depth:
                 counters.max_hot_depth = depth
             cold = stack.cold

@@ -42,7 +42,24 @@ __all__ = [
     "cache_path",
     "cached_build",
     "clear_disk_cache",
+    "stats",
+    "reset_stats",
 ]
+
+#: Process-wide hit/miss tally for :func:`cached_build` (benchmark
+#: reporting: the micro-sweep prints these so a cold corpus cache —
+#: generation cost showing up in the phase timings — is visible).
+_STATS = {"hits": 0, "misses": 0}
+
+
+def stats() -> dict:
+    """A copy of the current ``{"hits": .., "misses": ..}`` tally."""
+    return dict(_STATS)
+
+
+def reset_stats() -> None:
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
 
 #: Bump when generator output changes for identical (params, seed).
 CACHE_VERSION = 1
@@ -87,16 +104,20 @@ def cached_build(kind: str, name: str, params: Mapping, seed: int,
     """
     path = cache_path(kind, name, params, seed)
     if path is None:
+        _STATS["misses"] += 1
         return builder()
     if path.exists():
         try:
-            return load_npz(path)
+            graph = load_npz(path)
+            _STATS["hits"] += 1
+            return graph
         except Exception:
             # Corrupt/partial entry (e.g. version-skewed numpy): rebuild.
             try:
                 path.unlink()
             except OSError:
                 pass
+    _STATS["misses"] += 1
     graph = builder()
     try:
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,127 @@
+"""Zero-copy CSR graph hand-off over POSIX shared memory.
+
+The sweep fan-out (:mod:`repro.bench.harness`) runs many independent
+``(method, graph, root)`` samples over a small set of graphs.  Pickling
+a graph into every worker task costs one serialize + one deserialize +
+one copy *per task*; for sweep workloads the graph payload dominates the
+task payload by orders of magnitude.
+
+:func:`export_csr` instead copies each distinct graph **once** into
+named ``multiprocessing.shared_memory`` segments and returns a tiny
+picklable *spec* (segment names + dtypes + lengths).  Workers
+:func:`attach_csr` the spec and wrap NumPy arrays directly over the
+shared buffers — no copy, no deserialization, and concurrent workers
+map the same physical pages.  ``CSRGraph`` treats its arrays as
+immutable, so sharing writable pages is safe by contract.
+
+Lifecycle: the exporting (parent) process owns the segments and must
+call :meth:`SharedCSR.close` after the batch completes — on Linux the
+unlink removes the name while every already-attached mapping stays
+valid, so workers holding cached graphs are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["SPEC_KEY", "SharedCSR", "export_csr", "attach_csr"]
+
+#: Marker key identifying a shared-graph spec dict in a task payload.
+SPEC_KEY = "__csr_shm__"
+
+
+class SharedCSR:
+    """Parent-side handle: the picklable spec plus the owned segments."""
+
+    __slots__ = ("spec", "_segments", "_closed")
+
+    def __init__(self, spec: dict, segments: list):
+        self.spec = spec
+        self._segments = segments
+        self._closed = False
+
+    def close(self) -> None:
+        """Release the parent's mapping and unlink the segment names."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+
+def export_csr(graph: CSRGraph) -> SharedCSR:
+    """Copy ``graph``'s arrays into shared memory; return the handle.
+
+    Raises ``OSError`` where shared memory is unavailable (callers fall
+    back to pickling the graph itself).
+    """
+    from multiprocessing import shared_memory
+
+    segments = []
+    spec_segments: List[Tuple[str, str, int]] = []
+    try:
+        for arr in (graph.row_ptr, graph.column_idx):
+            # Zero-length segments are invalid; over-allocate one byte.
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, arr.nbytes))
+            segments.append(shm)
+            if arr.nbytes:
+                np.frombuffer(shm.buf, dtype=arr.dtype,
+                              count=arr.size)[:] = arr
+            spec_segments.append((shm.name, str(arr.dtype), int(arr.size)))
+    except Exception:
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:
+                pass
+        raise
+    spec = {
+        SPEC_KEY: True,
+        "directed": graph.directed,
+        "name": graph.name,
+        "meta": dict(graph.meta),
+        "segments": spec_segments,
+    }
+    return SharedCSR(spec, segments)
+
+
+def attach_csr(spec: dict) -> Tuple[CSRGraph, list]:
+    """Rebuild a :class:`CSRGraph` over the segments named in ``spec``.
+
+    Returns ``(graph, segment_handles)``.  The caller must keep the
+    handles referenced at least as long as the graph: the graph's arrays
+    alias the mapped buffers, and a garbage-collected handle unmaps
+    them.
+    """
+    from multiprocessing import shared_memory
+
+    arrays = []
+    handles = []
+    for name, dtype, size in spec["segments"]:
+        # Attaching re-registers the name with the resource tracker; under
+        # the fork start method (Linux default) parent and workers share
+        # one tracker process whose registry is a set, so the attach is a
+        # no-op there and the parent's unlink clears the single entry —
+        # no extra bookkeeping needed here.
+        shm = shared_memory.SharedMemory(name=name)
+        handles.append(shm)
+        arrays.append(np.frombuffer(shm.buf, dtype=np.dtype(dtype),
+                                    count=size))
+    graph = CSRGraph(
+        row_ptr=arrays[0],
+        column_idx=arrays[1],
+        directed=spec["directed"],
+        name=spec["name"],
+        meta=dict(spec["meta"]),
+    )
+    return graph, handles

@@ -115,11 +115,20 @@ class Agent(Protocol):
 
 @dataclass
 class EngineResult:
-    """Outcome of one simulation: elapsed cycles and scheduling stats."""
+    """Outcome of one simulation: elapsed cycles and scheduling stats.
+
+    ``exact_cycles`` is True when the termination predicate was polled
+    before every event (``poll_interval == 1``), i.e. the cycle count is
+    bit-for-bit reproducible.  With ``poll_interval > 1`` the loop may
+    execute a few events past the logical end, so ``cycles`` can
+    overshoot — consumers that gate on cycle counts (``repro.bench``)
+    must refuse inexact results.
+    """
 
     cycles: int
     steps: int
     agents: int
+    exact_cycles: bool = True
 
     def seconds(self, clock_hz: float) -> float:
         return self.cycles / clock_hz
@@ -282,7 +291,8 @@ class EventLoop:
                 next_seq += 1
                 push(heap, entry)
 
-        return EngineResult(cycles=now, steps=steps, agents=len(self._agents))
+        return EngineResult(cycles=now, steps=steps, agents=len(self._agents),
+                            exact_cycles=poll == 1)
 
     # ------------------------------------------------------------------
     def _run_calendar(self) -> EngineResult:
@@ -320,7 +330,8 @@ class EventLoop:
                 if countdown == 0:
                     if is_terminated():
                         return EngineResult(cycles=now, steps=steps,
-                                            agents=len(self._agents))
+                                            agents=len(self._agents),
+                                            exact_cycles=poll == 1)
                     countdown = poll
                 if t > now:
                     if t > max_cycles:
@@ -353,7 +364,8 @@ class EventLoop:
             pop_time(times)
             del buckets[t]
 
-        return EngineResult(cycles=now, steps=steps, agents=len(self._agents))
+        return EngineResult(cycles=now, steps=steps, agents=len(self._agents),
+                            exact_cycles=poll == 1)
 
     # ------------------------------------------------------------------
     def _run_perturbed(self) -> EngineResult:
@@ -420,4 +432,5 @@ class EventLoop:
                 push(heap, (now + cost, randbits(32), next_seq, agent))
                 next_seq += 1
 
-        return EngineResult(cycles=now, steps=steps, agents=len(self._agents))
+        return EngineResult(cycles=now, steps=steps, agents=len(self._agents),
+                            exact_cycles=poll == 1)

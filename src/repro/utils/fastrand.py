@@ -1,0 +1,135 @@
+"""Amortized bounded-integer draws, bit-exact with ``Generator.integers``.
+
+The inter-block victim sampler draws thousands of tiny bounded integers
+per run through ``np.random.Generator.integers``.  Each call costs ~2 us
+of argument parsing and scalar boxing while the underlying PCG64 step is
+nanoseconds — for the simulator's hot loop that per-call overhead is the
+single largest avoidable cost.
+
+:class:`BoundedDraws` replays NumPy's own algorithm in Python over raw
+64-bit draws fetched in bulk from the wrapped generator's bit generator:
+for ranges below 2**32 ``Generator.integers`` consumes buffered 32-bit
+halves of the raw stream and maps them through Lemire's unbiased
+rejection method (``buffered_bounded_lemire_uint32``).  Replicating both
+the half-word buffering and the rejection loop makes every draw — value
+*and* stream consumption — identical to what the wrapped generator would
+have produced, so schedules stay bit-identical with recorded baselines.
+
+Because the replica depends on NumPy internals that are stable but not
+contractual, :func:`wrap_generator` validates the replica against a real
+``Generator`` once per process and silently falls back to the plain
+generator on any mismatch.  Callers only ever see the two-argument
+``integers(lo, hi)`` surface that both objects share.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["BoundedDraws", "wrap_generator"]
+
+_U32_MASK = 0xFFFFFFFF
+
+
+class BoundedDraws:
+    """Duck-typed stand-in for ``Generator.integers(lo, hi)`` (small ranges).
+
+    Draws raw 64-bit words in chunks via ``BitGenerator.random_raw`` and
+    serves them as buffered 32-bit halves (low half first, high half
+    stored), exactly like NumPy's ``next_uint32``.  Only the two-argument
+    half-open ``integers`` form is supported, for ranges below 2**32.
+    """
+
+    __slots__ = ("_bg", "_raw", "_i", "_n", "_has32", "_buf32", "_chunk")
+
+    def __init__(self, gen: np.random.Generator, chunk: int = 64):
+        self._bg = gen.bit_generator
+        self._chunk = chunk
+        self._raw: list = []
+        self._i = 0
+        self._n = 0
+        self._has32 = False
+        self._buf32 = 0
+
+    def integers(self, lo: int, hi: int) -> int:
+        """A draw from ``[lo, hi)``, identical to ``Generator.integers``."""
+        rng = hi - lo - 1  # inclusive range maximum, as in NumPy
+        if rng == 0:
+            return lo  # NumPy consumes no stream for a 1-wide range
+        if rng < 0 or rng >= _U32_MASK:
+            raise ValueError(f"unsupported range [{lo}, {hi})")
+        rng_excl = rng + 1
+        # -- inline buffered next_uint32 ------------------------------
+        if self._has32:
+            self._has32 = False
+            x = self._buf32
+        else:
+            i = self._i
+            if i >= self._n:
+                self._raw = self._bg.random_raw(self._chunk).tolist()
+                self._n = self._chunk
+                i = 0
+            r = self._raw[i]
+            self._i = i + 1
+            self._has32 = True
+            self._buf32 = r >> 32
+            x = r & _U32_MASK
+        # -- Lemire rejection (buffered_bounded_lemire_uint32) --------
+        m = x * rng_excl
+        leftover = m & _U32_MASK
+        if leftover < rng_excl:
+            threshold = (_U32_MASK - rng) % rng_excl
+            while leftover < threshold:
+                if self._has32:
+                    self._has32 = False
+                    x = self._buf32
+                else:
+                    i = self._i
+                    if i >= self._n:
+                        self._raw = self._bg.random_raw(self._chunk).tolist()
+                        self._n = self._chunk
+                        i = 0
+                    r = self._raw[i]
+                    self._i = i + 1
+                    self._has32 = True
+                    self._buf32 = r >> 32
+                    x = r & _U32_MASK
+                m = x * rng_excl
+                leftover = m & _U32_MASK
+        return (m >> 32) + lo
+
+
+_REPLICA_OK: Optional[bool] = None
+
+
+def _self_check() -> bool:
+    """Compare the replica with a real Generator on one shared stream."""
+    seed = 0xD1665EED
+    probe = random.Random(991)
+    rep = BoundedDraws(np.random.default_rng(seed), chunk=8)
+    ref = np.random.default_rng(seed)
+    for _ in range(256):
+        lo = probe.randrange(-4, 5)
+        hi = lo + probe.randrange(1, 67)
+        if rep.integers(lo, hi) != int(ref.integers(lo, hi)):
+            return False
+    return True
+
+
+def wrap_generator(
+    gen: np.random.Generator,
+) -> Union[BoundedDraws, np.random.Generator]:
+    """Wrap ``gen`` in a :class:`BoundedDraws` replica when safe.
+
+    The first call per process validates the replica against NumPy; if
+    the installed NumPy ever changes its bounded-integer algorithm the
+    check fails and every caller gets the plain (slower, always-correct)
+    generator back.
+    """
+    global _REPLICA_OK
+    if _REPLICA_OK is None:
+        _REPLICA_OK = _self_check()
+    return BoundedDraws(gen) if _REPLICA_OK else gen

@@ -13,12 +13,14 @@ Two layers of protection:
   ``python -m repro.bench micro --quick``).
 """
 
+import copy
 import json
 
 import pytest
 
 from repro.bench import micro
 from repro.core.diggerbees import run_diggerbees
+from repro.errors import BenchmarkError
 
 
 def _load_baseline():
@@ -43,6 +45,29 @@ def test_schedule_matches_baseline():
 @pytest.mark.perf_smoke
 def test_wall_time_gate():
     baseline = _load_baseline()
-    result = micro.run_micro(repeats=2)
+    result = micro.run_micro(repeats=3)
     problems = micro.check_against_baseline(result, baseline)
     assert not problems, "; ".join(problems)
+
+
+@pytest.mark.perf_smoke
+def test_wall_time_gate_turbo():
+    """The fused turbo loop gates against the same baseline — its
+    cycles/steps are bit-identical by contract, and its wall time must
+    clear the same regression bar."""
+    baseline = _load_baseline()
+    result = micro.run_micro(repeats=3, turbo=True)
+    problems = micro.check_against_baseline(result, baseline)
+    assert not problems, "; ".join(problems)
+
+
+def test_gate_refuses_inexact_cycles():
+    """A run whose cycle counts are inexact (poll_interval > 1 overshoot)
+    must not be compared against the exact baseline."""
+    baseline = _load_baseline()
+    result = {
+        "cases": [dict(copy.deepcopy(c), exact_cycles=False)
+                  for c in baseline["cases"]],
+    }
+    with pytest.raises(BenchmarkError, match="refusing to gate"):
+        micro.check_against_baseline(result, baseline)

@@ -1,0 +1,47 @@
+"""Checker coverage for turbo mode.
+
+Two obligations: (1) the oracle ladder's turbo-differential rung passes
+on clean cases whichever side of the comparison runs fused, and (2) the
+mutation sanity suite retains full detection power when the primary pass
+executes under the fused loop — i.e. turbo mode has no blind spot that
+lets an injected steal-protocol bug through.
+"""
+
+import pytest
+
+from repro.check.cases import case_from_seed
+from repro.check.cli import MUTANT_CASE_BUDGET, run_mutant
+from repro.check.differential import check_case
+from repro.check.mutations import MUTATIONS
+
+
+def test_clean_cases_pass_with_turbo_primary():
+    """The full ladder (turbo primary vs generic differential) agrees on
+    clean seed-derived cases."""
+    for seed in range(4):
+        case = case_from_seed(seed).with_(perturb_seed=None, jitter=0)
+        failure = check_case(case, turbo=True)
+        assert failure is None, failure.report()
+
+
+def test_turbo_failures_carry_turbo_repro_flag():
+    case = case_from_seed(0, stress=True).with_(perturb_seed=None, jitter=0)
+    failure = check_case(case, mutation="flush_publish_drop", stress=True,
+                         turbo=True)
+    assert failure is not None
+    assert "--turbo" in failure.repro_command
+    assert "--mutation flush_publish_drop" in failure.repro_command
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_mutation_is_caught_under_turbo(name):
+    """Every injected protocol bug must be detected with the fused loop
+    executing the primary pass (perturbation stripped so turbo engages,
+    see run_mutant)."""
+    failure = run_mutant(name, budget=MUTANT_CASE_BUDGET, turbo=True)
+    assert failure is not None, (
+        f"injected bug {name!r} ({MUTATIONS[name].description}) survived "
+        f"{MUTANT_CASE_BUDGET} turbo stress cases — the fused loop has a "
+        f"blind spot; expected detector: "
+        f"{MUTATIONS[name].expected_detector}"
+    )

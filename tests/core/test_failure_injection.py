@@ -43,9 +43,10 @@ class TestDuplicatingSteal:
             if not isinstance(victim, WarpStack) or len(victim.hot) < plan.amount:
                 return original(state, block, thief_warp, plan)
             # Read entries WITHOUT removing them (lost CAS write-back).
-            idx = (victim.hot.tail + np.arange(plan.amount)) % victim.hot.size
-            verts = victim.hot.vertex[idx].copy()
-            offs = victim.hot.offset[idx].copy()
+            idx = [(victim.hot.tail + j) % victim.hot.size
+                   for j in range(plan.amount)]
+            verts = [victim.hot.vertex[i] for i in idx]
+            offs = [victim.hot.offset[i] for i in idx]
             block.stacks[thief_warp].hot.put_batch(verts, offs)
             block.set_active(thief_warp, True)
             state.counters.intra_steal_successes += 1

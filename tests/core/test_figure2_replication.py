@@ -19,7 +19,7 @@ class TestFigure2c_FastPush:
         h.tail = 2
         # The ring holds positions 2,3 (two entries) in the figure; we
         # only assert the pointer arithmetic of the push itself.
-        h.vertex[2:4] = 1
+        h.vertex[2:4] = [1, 1]
         h.push(ord("a"), 105)  # <a|i>
         assert h.head == 1
         assert h.tail == 2

@@ -1,0 +1,100 @@
+"""Bit-identity and eligibility coverage for the fused turbo loop.
+
+The turbo contract (``repro.core.turbo``) is *schedule identity*, not
+mere correctness: for every eligible configuration the fused
+scheduler-agent loop must reproduce the generic engine's cycles, steps,
+traversal output and counters bit-for-bit.  These tests sweep that
+contract across every fuzz graph family and pin down exactly when the
+fused loop may engage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.cases import FAMILIES, FuzzCase
+from repro.core.config import DiggerBeesConfig
+from repro.core.diggerbees import run_diggerbees
+from repro.core.turbo import turbo_eligible
+
+
+def _family_case(family: str) -> FuzzCase:
+    """A small high-contention case (tiny rings, adversarial victims)."""
+    return FuzzCase(
+        seed=0, family=family, n_vertices=96, graph_seed=7,
+        n_blocks=2, warps_per_block=2, hot_size=8, hot_cutoff=2,
+        cold_cutoff=2, flush_batch=2, refill_batch=2,
+        adversarial_victims=True,
+    )
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_turbo_bit_identical_across_families(family):
+    """turbo == fastpath == reference on cycles/steps/output/counters."""
+    case = _family_case(family)
+    graph = case.build_graph()
+    cfg_turbo = case.build_config(turbo=True)
+    assert turbo_eligible(cfg_turbo)  # the fused loop actually engages
+    turbo = run_diggerbees(graph, case.root, config=cfg_turbo)
+    fast = run_diggerbees(graph, case.root, config=case.build_config())
+    ref = run_diggerbees(graph, case.root,
+                         config=case.build_config(fastpath=False))
+    for label, other in (("fastpath", fast), ("reference", ref)):
+        assert turbo.cycles == other.cycles, label
+        assert turbo.engine.steps == other.engine.steps, label
+        assert np.array_equal(turbo.traversal.parent,
+                              other.traversal.parent), label
+        assert np.array_equal(turbo.traversal.visited,
+                              other.traversal.visited), label
+        assert turbo.counters == other.counters, label
+    assert turbo.engine.exact_cycles
+
+
+class TestEligibility:
+    def test_default_config_is_not_turbo(self):
+        assert not turbo_eligible(DiggerBeesConfig())
+
+    def test_turbo_flag_enables_fusion(self):
+        assert turbo_eligible(DiggerBeesConfig(turbo=True))
+
+    @pytest.mark.parametrize("overrides", [
+        {"fastpath": False},
+        {"two_level": False},
+        {"perturb_seed": 3},
+        {"scheduler": "heap"},
+    ])
+    def test_fallback_conditions(self, overrides):
+        cfg = DiggerBeesConfig(turbo=True, **overrides)
+        assert not turbo_eligible(cfg)
+
+    @pytest.mark.parametrize("overrides", [
+        {"two_level": False},
+        {"perturb_seed": 5, "jitter": 2},
+        {"scheduler": "heap"},
+    ])
+    def test_turbo_true_is_always_safe(self, overrides):
+        """turbo=True on an ineligible config silently falls back to the
+        generic engine and still produces the identical result."""
+        case = _family_case("road_network")
+        graph = case.build_graph()
+        with_turbo = run_diggerbees(
+            graph, case.root, config=case.build_config(turbo=True,
+                                                       **overrides))
+        without = run_diggerbees(
+            graph, case.root, config=case.build_config(**overrides))
+        assert with_turbo.cycles == without.cycles
+        assert with_turbo.engine.steps == without.engine.steps
+        assert np.array_equal(with_turbo.traversal.parent,
+                              without.traversal.parent)
+
+
+def test_exact_cycles_reported():
+    """Turbo polls termination before every event, so its cycle counts
+    are always exact; the generic loop reports exactness from its poll
+    interval."""
+    case = _family_case("grid2d")
+    graph = case.build_graph()
+    turbo = run_diggerbees(graph, case.root,
+                           config=case.build_config(turbo=True))
+    assert turbo.engine.exact_cycles is True
+    plain = run_diggerbees(graph, case.root, config=case.build_config())
+    assert plain.engine.exact_cycles is True
