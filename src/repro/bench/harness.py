@@ -64,6 +64,13 @@ class BenchConfig:
     #: Results are jobs-invariant: every sample is a pure function of
     #: (method, graph, root, cfg) and collection preserves task order.
     jobs: int = 1
+    #: Hive lockstep width (1 = scalar execution, today's exact path).
+    #: > 1 groups hive-eligible DiggerBees samples that share a graph
+    #: into NumPy-batched shards of at most ``batch`` runs each
+    #: (:mod:`repro.core.hive`); shards compose with ``jobs`` as
+    #: processes x batches.  Samples are batch-invariant: the hive
+    #: engine is bit-identical to the scalar engines per run.
+    batch: int = 1
 
     def with_(self, **kwargs) -> "BenchConfig":
         return replace(self, **kwargs)
@@ -225,6 +232,33 @@ def _execute_task(task) -> PerfSample:
     return ALL_METHODS[method](_resolve_task_graph(graph), root, cfg)
 
 
+def _hive_samples(graph, roots: List[int], cfg: BenchConfig,
+                  ) -> List[PerfSample]:
+    """Run one lockstep hive shard; one sample per root, in order."""
+    from repro.core.hive import run_hive
+
+    dbc = cfg.diggerbees_config()
+    results = run_hive(graph, [(r, dbc) for r in roots], device=cfg.device)
+    return [
+        _sample("DiggerBees", graph, cfg.device.name, root,
+                res.traversal.edges_traversed, res.cycles, res.seconds)
+        for root, res in zip(roots, results)
+    ]
+
+
+def _execute_unit(unit) -> List[PerfSample]:
+    """Module-level worker for the batched fan-out.
+
+    A unit is ``("one", task)`` (a plain single sample) or
+    ``("hive", graph, roots, cfg)`` (a lockstep shard); either way the
+    result is the unit's samples in shard order.
+    """
+    if unit[0] == "hive":
+        _, graph, roots, cfg = unit
+        return _hive_samples(_resolve_task_graph(graph), roots, cfg)
+    return [_execute_task(unit[1])]
+
+
 #: Persistent fan-out pool.  Spinning up a ProcessPoolExecutor per call
 #: costs worker spawns plus interpreter warm-up; sweeps issue many
 #: fan-outs back to back, so the pool lives across calls and is resized
@@ -256,7 +290,8 @@ def _shutdown_pool() -> None:
         _POOL = None
 
 
-def _fan_out(tasks: List[tuple], jobs: int) -> List[PerfSample]:
+def _fan_out(tasks: List[tuple], jobs: int, batch: int = 1,
+             ) -> List[PerfSample]:
     """Run (method, graph, root, cfg) tasks, preserving task order.
 
     Every task is an independent, deterministic simulation — each method
@@ -267,12 +302,23 @@ def _fan_out(tasks: List[tuple], jobs: int) -> List[PerfSample]:
     order-preserving ``Executor.map`` yields byte-identical aggregates
     for any ``jobs`` value.
 
+    ``batch`` > 1 adds the third execution tier: hive-eligible
+    DiggerBees samples sharing a graph are grouped into lockstep shards
+    of at most ``batch`` runs (:func:`repro.core.hive.run_hive`) and
+    the shards — plus every remaining single-sample task — fan out
+    across the same pool, so the sharding composes with ``jobs`` as
+    processes x batches.  Samples are identical for any ``batch``: the
+    hive engine is bit-exact per run regardless of batch composition.
+    ``batch <= 1`` takes exactly the historical scalar path.
+
     Graph payloads are handed to workers zero-copy: each distinct graph
     is exported once into shared memory (:mod:`repro.graphs.shm`) and
     tasks carry only a tiny spec; workers attach and cache per graph.
     Where shared memory is unavailable the graphs are pickled into the
     tasks as before — results are identical either way.
     """
+    if batch > 1 and len(tasks) > 1:
+        return _fan_out_batched(tasks, jobs, batch)
     if jobs <= 1 or len(tasks) <= 1:
         return [_execute_task(t) for t in tasks]
     from repro.graphs.shm import export_csr
@@ -309,27 +355,120 @@ def _fan_out(tasks: List[tuple], jobs: int) -> List[PerfSample]:
             handle.close()
 
 
+def _wire_graph(graph, exported: Dict[int, object]):
+    """Swap a graph for its shared-memory spec, exporting once per graph."""
+    from repro.graphs.shm import export_csr
+
+    handle = exported.get(id(graph))
+    if handle is None:
+        handle = export_csr(graph)
+        exported[id(graph)] = handle
+    return handle.spec
+
+
+def _fan_out_batched(tasks: List[tuple], jobs: int, batch: int,
+                     ) -> List[PerfSample]:
+    """Batched fan-out: carve hive shards, execute units, reassemble.
+
+    Hive-eligible DiggerBees tasks are grouped per (graph, cfg) and cut
+    into shards of at most ``batch`` roots; single-root shards and
+    every non-eligible task run as plain scalar units.  Units execute
+    in-process (``jobs <= 1``) or across the persistent pool, and each
+    sample lands back at its original task index, so the returned list
+    is positionally identical to the scalar fan-out.
+    """
+    from repro.core.hive import hive_eligible
+
+    groups: Dict[tuple, List[int]] = {}
+    for i, (method, graph, root, cfg) in enumerate(tasks):
+        if (method == "DiggerBees"
+                and hive_eligible(cfg.diggerbees_config())):
+            groups.setdefault((id(graph), id(cfg)), []).append(i)
+    grouped = {i for idxs in groups.values() for i in idxs}
+
+    units: List[tuple] = []   # ("one", task) | ("hive", graph, roots, cfg)
+    owners: List[List[int]] = []  # original task indices per unit
+    for i, task in enumerate(tasks):
+        if i not in grouped:
+            units.append(("one", task))
+            owners.append([i])
+    for idxs in groups.values():
+        for lo in range(0, len(idxs), batch):
+            chunk = idxs[lo:lo + batch]
+            if len(chunk) == 1:  # no lockstep partner: skip slab setup
+                units.append(("one", tasks[chunk[0]]))
+            else:
+                _, graph, _, cfg = tasks[chunk[0]]
+                units.append(
+                    ("hive", graph, [tasks[j][2] for j in chunk], cfg))
+            owners.append(chunk)
+
+    if jobs <= 1 or len(units) <= 1:
+        unit_results = [_execute_unit(u) for u in units]
+    else:
+        exported: Dict[int, object] = {}
+        try:
+            try:
+                wire_units = []
+                for u in units:
+                    if u[0] == "hive":
+                        _, graph, roots, cfg = u
+                        wire_units.append(
+                            ("hive", _wire_graph(graph, exported), roots,
+                             cfg))
+                    else:
+                        method, graph, root, cfg = u[1]
+                        wire_units.append(
+                            ("one", (method, _wire_graph(graph, exported),
+                                     root, cfg)))
+            except Exception:
+                # No shared memory here: pickle the graphs instead.
+                for handle in exported.values():
+                    handle.close()
+                exported = {}
+                wire_units = units
+            pool = _get_pool(jobs)
+            try:
+                unit_results = list(pool.map(_execute_unit, wire_units))
+            except Exception:
+                _shutdown_pool()
+                raise
+        finally:
+            for handle in exported.values():
+                handle.close()
+
+    out: List[Optional[PerfSample]] = [None] * len(tasks)
+    for idxs, samples in zip(owners, unit_results):
+        for j, s in zip(idxs, samples):
+            out[j] = s
+    return out
+
+
 def run_graph(methods: Sequence[str], graph: CSRGraph,
               cfg: Optional[BenchConfig] = None,
               roots: Optional[Sequence[int]] = None,
               jobs: Optional[int] = None,
+              batch: Optional[int] = None,
               ) -> Dict[str, List[PerfSample]]:
     """Run several methods over the same root set on one graph.
 
     ``jobs`` (default: ``cfg.jobs``) > 1 fans the independent
-    (method, root) samples across worker processes; results are
-    identical to the serial path (see :func:`_fan_out`).
+    (method, root) samples across worker processes; ``batch`` (default:
+    ``cfg.batch``) > 1 additionally runs hive-eligible DiggerBees
+    samples in lockstep shards.  Results are identical to the serial
+    scalar path either way (see :func:`_fan_out`).
     """
     cfg = cfg or BenchConfig()
     roots = list(roots) if roots is not None else pick_roots(graph, cfg)
     n_jobs = cfg.jobs if jobs is None else jobs
+    n_batch = cfg.batch if batch is None else batch
     unknown = [m for m in methods if m not in ALL_METHODS]
     if unknown:
         raise BenchmarkError(
             f"unknown method(s) {unknown}; available: {sorted(ALL_METHODS)}"
         )
     tasks = [(m, graph, r, cfg) for m in methods for r in roots]
-    flat = _fan_out(tasks, n_jobs)
+    flat = _fan_out(tasks, n_jobs, n_batch)
     n = len(roots)
     return {
         m: flat[i * n:(i + 1) * n]
@@ -340,16 +479,21 @@ def run_graph(methods: Sequence[str], graph: CSRGraph,
 def run_sweep(methods: Sequence[str], graphs: Sequence[CSRGraph],
               cfg: Optional[BenchConfig] = None,
               jobs: Optional[int] = None,
+              batch: Optional[int] = None,
               ) -> Dict[str, Dict[str, List[PerfSample]]]:
     """Run a full (graph x method x root) sweep, optionally in parallel.
 
     Fans *all* samples of the sweep into one task list so the pool stays
     saturated across graph boundaries (a per-graph pool would drain at
-    each graph's tail).  Returns ``{graph.name: {method: [samples]}}``
-    with the same contents for any ``jobs`` value.
+    each graph's tail).  ``batch`` (default: ``cfg.batch``) > 1 runs
+    hive-eligible DiggerBees samples as lockstep shards, composing with
+    ``jobs`` as processes x batches.  Returns
+    ``{graph.name: {method: [samples]}}`` with the same contents for
+    any ``jobs``/``batch`` value.
     """
     cfg = cfg or BenchConfig()
     n_jobs = cfg.jobs if jobs is None else jobs
+    n_batch = cfg.batch if batch is None else batch
     unknown = [m for m in methods if m not in ALL_METHODS]
     if unknown:
         raise BenchmarkError(
@@ -362,7 +506,7 @@ def run_sweep(methods: Sequence[str], graphs: Sequence[CSRGraph],
         for m in methods
         for r in roots
     ]
-    flat = _fan_out(tasks, n_jobs)
+    flat = _fan_out(tasks, n_jobs, n_batch)
     out: Dict[str, Dict[str, List[PerfSample]]] = {}
     i = 0
     for g, roots in zip(graphs, per_graph_roots):

@@ -59,6 +59,7 @@ __all__ = [
     "run_micro",
     "check_against_baseline",
     "record_trajectory",
+    "compare_trajectory",
     "main",
 ]
 
@@ -97,7 +98,8 @@ MICRO_CASES: Tuple[Tuple[str, Callable, DiggerBeesConfig], ...] = (
 
 def run_micro(repeats: int = 3,
               profile_path: Optional[str] = None,
-              turbo: bool = False) -> Dict:
+              turbo: bool = False,
+              batch: int = 0) -> Dict:
     """Run the fixed micro-sweep; returns the ``BENCH_engine.json`` payload.
 
     Per case: median-of-``repeats`` wall time, plus the (deterministic)
@@ -105,7 +107,22 @@ def run_micro(repeats: int = 3,
     own phase and excluded from per-case wall times; with a warm corpus
     cache it is a fraction of a millisecond per case (see the
     ``graph_cache`` hit/miss tally in the payload).
+
+    ``batch`` > 0 runs every case as ``batch`` lockstep replicas on the
+    hive engine (:mod:`repro.core.hive`); the recorded wall time is the
+    median batch wall divided by the batch width — the per-run cost a
+    sweep actually pays — and cycles/steps are asserted identical
+    across replicas, so the same baseline gates all three modes.
+
+    The ``phases.simulate`` entry accumulates the per-case *median*
+    wall, the same statistic ``wall_seconds`` reports, so it equals
+    ``total_wall_seconds`` instead of summing every repeat.
     """
+    if turbo and batch:
+        raise BenchmarkError(
+            "--batch selects the hive engine; it cannot be combined "
+            "with --turbo"
+        )
     timer = PhaseTimer()
     cases: List[Dict] = []
     diskcache.reset_stats()
@@ -117,12 +134,31 @@ def run_micro(repeats: int = 3,
                 graph = build()
             walls: List[float] = []
             result = None
-            with timer.phase("simulate"):
+            if batch > 0:
+                from repro.core.hive import run_hive
+
+                tasks = [(0, cfg)] * batch
+                for _ in range(max(1, repeats)):
+                    t0 = time.perf_counter()
+                    results = run_hive(graph, tasks)
+                    walls.append((time.perf_counter() - t0) / batch)
+                result = results[0]
+                for i, r in enumerate(results[1:], start=1):
+                    if (r.cycles != result.cycles
+                            or r.engine.steps != result.engine.steps):
+                        raise BenchmarkError(
+                            f"{name}: hive replica {i} diverged "
+                            f"({r.cycles}/{r.engine.steps} vs "
+                            f"{result.cycles}/{result.engine.steps}); "
+                            f"lockstep determinism contract broken"
+                        )
+            else:
                 for _ in range(max(1, repeats)):
                     t0 = time.perf_counter()
                     result = run_diggerbees(graph, 0, config=cfg)
                     walls.append(time.perf_counter() - t0)
             wall = statistics.median(walls)
+            timer.add("simulate", wall)
             cases.append({
                 "name": name,
                 "wall_seconds": wall,
@@ -132,15 +168,23 @@ def run_micro(repeats: int = 3,
                                                      wall),
                 "exact_cycles": result.engine.exact_cycles,
             })
-    return {
+    payload = {
         "bench": "engine_micro",
         "repeats": repeats,
         "turbo": turbo,
+        "batch": batch,
         "cases": cases,
         "total_wall_seconds": sum(c["wall_seconds"] for c in cases),
         "phases": timer.as_dict(),
         "graph_cache": diskcache.stats(),
     }
+    simulate = payload["phases"].get("simulate", 0.0)
+    total = payload["total_wall_seconds"]
+    assert abs(simulate - total) <= max(1e-6, 0.01 * total), (
+        f"phase accounting drift: phases.simulate={simulate!r} vs "
+        f"total_wall_seconds={total!r}"
+    )
+    return payload
 
 
 def check_against_baseline(result: Dict, baseline: Dict,
@@ -215,8 +259,85 @@ def record_trajectory(result: Dict) -> pathlib.Path:
     return out
 
 
+def _mode_tag(entry: Dict) -> str:
+    if entry.get("turbo"):
+        return "turbo"
+    if entry.get("batch"):
+        return f"hive:{entry['batch']}"
+    return "scalar"
+
+
+def compare_trajectory(a_idx: int, b_idx: int,
+                       path: Optional[pathlib.Path] = None) -> str:
+    """Diff two recorded trajectory entries; returns a per-case table.
+
+    ``a_idx``/``b_idx`` index ``benchmarks/out/trajectory.jsonl`` in
+    append order (negative indices count from the latest, so ``-2 -1``
+    compares the two most recent recordings).  Per case the table shows
+    wall time and steps/s for both entries plus the relative change,
+    flagging >5% moves as regression/improvement; schedule drift
+    (cycles/steps differing between the entries) is flagged too, since
+    that invalidates the perf comparison.
+    """
+    path = path or (repo_root() / "benchmarks" / "out" / "trajectory.jsonl")
+    if not path.exists():
+        raise BenchmarkError(
+            f"no trajectory at {path}; record runs with --record first"
+        )
+    entries = [json.loads(line) for line in
+               path.read_text(encoding="utf-8").splitlines() if line.strip()]
+    n = len(entries)
+    try:
+        ea, eb = entries[a_idx], entries[b_idx]
+    except IndexError:
+        raise BenchmarkError(
+            f"trajectory has {n} entries; indices {a_idx}/{b_idx} are out "
+            f"of range"
+        ) from None
+    lines = [
+        f"A: entry {a_idx % n} [{_mode_tag(ea)}] {ea.get('timestamp', '?')}",
+        f"B: entry {b_idx % n} [{_mode_tag(eb)}] {eb.get('timestamp', '?')}",
+        f"{'case':<10s} {'wall A':>9s} {'wall B':>9s} {'steps/s A':>10s} "
+        f"{'steps/s B':>10s} {'change':>8s}",
+    ]
+    a_cases = {c["name"]: c for c in ea.get("cases", [])}
+    flagged = 0
+    for cb in eb.get("cases", []):
+        ca = a_cases.get(cb["name"])
+        if ca is None:
+            lines.append(f"{cb['name']:<10s} {'—':>9s} "
+                         f"{cb['wall_seconds']:9.4f} {'—':>10s} "
+                         f"{cb['steps_per_second']:>10.0f}   (new case)")
+            continue
+        sps_a = ca["steps_per_second"]
+        sps_b = cb["steps_per_second"]
+        change = (sps_b / sps_a - 1.0) if sps_a > 0 else float("inf")
+        mark = ""
+        if (ca["cycles"], ca["steps"]) != (cb["cycles"], cb["steps"]):
+            mark = "  SCHEDULE DRIFT"
+            flagged += 1
+        elif change <= -0.05:
+            mark = "  regression"
+            flagged += 1
+        elif change >= 0.05:
+            mark = "  improvement"
+        lines.append(
+            f"{cb['name']:<10s} {ca['wall_seconds']:9.4f} "
+            f"{cb['wall_seconds']:9.4f} {sps_a:>10.0f} {sps_b:>10.0f} "
+            f"{change:>+7.1%}{mark}"
+        )
+    missing = [name for name in a_cases
+               if name not in {c["name"] for c in eb.get("cases", [])}]
+    if missing:
+        lines.append(f"cases only in A: {', '.join(missing)}")
+    lines.append(f"flagged: {flagged}")
+    return "\n".join(lines)
+
+
 def render(result: Dict) -> str:
     mode = " [turbo]" if result.get("turbo") else ""
+    if result.get("batch"):
+        mode = f" [hive batch={result['batch']}]"
     lines = [f"{'case':<10s} {'wall(s)':>9s} {'cycles':>10s} {'steps':>7s} "
              f"{'steps/s':>10s}{mode}"]
     for c in result["cases"]:
@@ -243,6 +364,14 @@ def main(argv=None) -> int:
     parser.add_argument("--turbo", action="store_true",
                         help="run every case with the turbo fused loop "
                              "(bit-identical cycles/steps)")
+    parser.add_argument("--batch", type=int, default=0, metavar="N",
+                        help="run every case as N lockstep replicas on "
+                             "the hive engine (bit-identical "
+                             "cycles/steps; wall time is per run)")
+    parser.add_argument("--compare", nargs=2, type=int, metavar=("A", "B"),
+                        default=None,
+                        help="diff two recorded trajectory entries by "
+                             "index (negative = from latest) and exit")
     parser.add_argument("--json", type=pathlib.Path,
                         default=pathlib.Path("BENCH_engine.json"),
                         help="output path for the machine-readable result")
@@ -261,9 +390,20 @@ def main(argv=None) -> int:
                         help="dump cProfile stats of the sweep to PATH")
     args = parser.parse_args(argv)
 
+    if args.compare is not None:
+        try:
+            print(compare_trajectory(args.compare[0], args.compare[1]))
+        except BenchmarkError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    if args.turbo and args.batch:
+        parser.error("--batch selects the hive engine; drop --turbo")
+
     result = run_micro(repeats=1 if args.quick else 3,
                        profile_path=args.profile,
-                       turbo=args.turbo)
+                       turbo=args.turbo,
+                       batch=args.batch)
     args.json.write_text(json.dumps(result, indent=1) + "\n")
     print(render(result))
     print(f"[wrote {args.json}]")

@@ -4,11 +4,12 @@ Subcommands::
 
     python -m repro.check fuzz [--cases N | --smoke | --seconds S]
                                [--start-seed K] [--stress] [--turbo]
-                               [--no-shrink]
-    python -m repro.check repro <seed> [--stress] [--turbo]
+                               [--hive] [--no-shrink]
+    python -m repro.check repro <seed> [--stress] [--turbo] [--hive]
                                        [--mutation NAME]
     python -m repro.check repro --case '<json>' [--mutation NAME]
     python -m repro.check mutants [--names a,b] [--budget N] [--turbo]
+                                  [--hive]
 
 ``fuzz`` samples seed-derived cases and runs each through the oracle
 ladder, shrinking the first failure and exiting non-zero with a one-line
@@ -59,7 +60,8 @@ def cmd_fuzz(args) -> int:
         if deadline is not None and time.monotonic() >= deadline:
             break
         case = case_from_seed(seed, stress=args.stress)
-        failure = check_case(case, stress=args.stress, turbo=args.turbo)
+        failure = check_case(case, stress=args.stress, turbo=args.turbo,
+                             hive=args.hive)
         ran += 1
         if failure is not None:
             _echo(failure.report())
@@ -92,7 +94,7 @@ def cmd_repro(args) -> int:
         return 2
     _echo(f"case: {case.describe()}")
     failure = check_case(case, mutation=args.mutation, stress=args.stress,
-                         turbo=args.turbo)
+                         turbo=args.turbo, hive=args.hive)
     if failure is None:
         _echo("PASS: all oracle stages agree")
         return 0
@@ -106,19 +108,23 @@ def cmd_repro(args) -> int:
 
 def run_mutant(name: str, *, budget: int = MUTANT_CASE_BUDGET,
                start_seed: int = 0,
-               turbo: bool = False) -> Optional[CheckFailure]:
+               turbo: bool = False,
+               hive: bool = False) -> Optional[CheckFailure]:
     """Fuzz one mutation with stress cases; return its first detection.
 
-    ``turbo=True`` runs the primary pass under the fused turbo loop.
-    Stress cases always carry a schedule perturbation, under which turbo
-    falls back to the generic engine — so the perturbation is stripped
-    here to make the fused loop actually execute the buggy protocol.
+    ``turbo=True`` runs the primary pass under the fused turbo loop;
+    ``hive=True`` adds the batched-lockstep differential rung.  Stress
+    cases always carry a schedule perturbation, under which both engines
+    fall back to the generic loop — so the perturbation is stripped
+    here to make the fused/batched paths actually execute the buggy
+    protocol.
     """
     for seed in range(start_seed, start_seed + budget):
         case = case_from_seed(seed, stress=True)
-        if turbo:
+        if turbo or hive:
             case = case.with_(perturb_seed=None, jitter=0)
-        failure = check_case(case, mutation=name, stress=True, turbo=turbo)
+        failure = check_case(case, mutation=name, stress=True, turbo=turbo,
+                             hive=hive)
         if failure is not None:
             return failure
     return None
@@ -133,7 +139,8 @@ def cmd_mutants(args) -> int:
             _echo(f"unknown mutation {name!r}; known: {sorted(MUTATIONS)}")
             return 2
         t0 = time.monotonic()
-        failure = run_mutant(name, budget=args.budget, turbo=args.turbo)
+        failure = run_mutant(name, budget=args.budget, turbo=args.turbo,
+                             hive=args.hive)
         dt = time.monotonic() - t0
         if failure is None:
             missed.append(name)
@@ -175,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--no-shrink", action="store_true")
     fuzz.add_argument("--turbo", action="store_true",
                       help="run the primary pass under the fused turbo loop")
+    fuzz.add_argument("--hive", action="store_true",
+                      help="add the batched-lockstep (hive) differential "
+                           "rung on eligible cases")
     fuzz.add_argument("--verbose", action="store_true")
     fuzz.set_defaults(func=cmd_fuzz)
 
@@ -185,6 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
     repro.add_argument("--stress", action="store_true")
     repro.add_argument("--turbo", action="store_true",
                        help="run the primary pass under the fused turbo loop")
+    repro.add_argument("--hive", action="store_true",
+                       help="add the batched-lockstep (hive) differential "
+                            "rung")
     repro.add_argument("--mutation", type=str, default=None,
                        choices=sorted(MUTATIONS))
     repro.set_defaults(func=cmd_repro)
@@ -197,6 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
     mutants.add_argument("--turbo", action="store_true",
                          help="run mutants under the fused turbo loop "
                               "(perturbation stripped so turbo engages)")
+    mutants.add_argument("--hive", action="store_true",
+                         help="also run the batched-lockstep (hive) "
+                              "differential rung (perturbation stripped "
+                              "so the hive engages)")
     mutants.add_argument("--verbose", action="store_true")
     mutants.set_defaults(func=cmd_mutants)
     return parser

@@ -18,6 +18,12 @@ fixed oracle ladder and reports the first failure (or None):
    schedule too, so cycles, steps, parent and visited must match
    bit-for-bit (skipped where the fused loop cannot engage: perturbed
    schedules and one-level stacks);
+5b. **hive differential** (opt-in via ``hive=True``) — rerun the case as
+   a two-run lockstep batch on the NumPy hive engine
+   (:mod:`repro.core.hive`); every batched run must match the primary
+   result bit-for-bit on cycles, steps, parent, visited *and* counters
+   (skipped where the hive cannot engage, same gates as turbo plus
+   hive eligibility);
 6. **scheduler differential** — heap vs calendar-queue rerun must agree
    exactly (skipped under perturbation, which bypasses both);
 7. **PDFS baseline differential** — CKL-PDFS reachability on the same
@@ -61,6 +67,7 @@ class CheckFailure:
     mutation: Optional[str] = None
     stress: bool = False
     turbo: bool = False
+    hive: bool = False
 
     @property
     def repro_command(self) -> str:
@@ -75,6 +82,8 @@ class CheckFailure:
             cmd += " --stress"  # also selects the per-step sweep period
         if self.turbo:
             cmd += " --turbo"
+        if self.hive:
+            cmd += " --hive"
         if self.mutation:
             cmd += f" --mutation {self.mutation}"
         return cmd
@@ -117,6 +126,7 @@ def run_monitored(case: FuzzCase, *, check_every: int = 64,
 
 def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                stress: bool = False, turbo: bool = False,
+               hive: bool = False,
                check_every: Optional[int] = None) -> Optional[CheckFailure]:
     """Run the full oracle ladder on ``case``; None means it passed.
 
@@ -130,6 +140,11 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
     engine instead of vice versa.  Bugs visible only under turbo are
     caught either way, since both modes run on every eligible case.
 
+    ``hive`` adds the batched-lockstep differential rung: the case is
+    rerun as a two-run hive batch and every batched run must match the
+    primary result bit-for-bit, counters included.  Opt-in because it
+    roughly doubles eligible cases' cost.
+
     ``check_every`` defaults to a per-step sweep (1) in stress mode —
     transient corruption (e.g. an ABA duplicate that the victim pops a
     step later) is only visible to a sweep that runs before the next
@@ -140,7 +155,8 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
 
     def fail(stage: str, message: str) -> CheckFailure:
         return CheckFailure(case=case, stage=stage, message=str(message),
-                            mutation=mutation, stress=stress, turbo=turbo)
+                            mutation=mutation, stress=stress, turbo=turbo,
+                            hive=hive)
 
     with apply_mutation(mutation):
         # Stage 1: monitored run (invariant hooks + periodic sweep).
@@ -226,6 +242,50 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
             if not np.array_equal(fused.traversal.visited,
                                   result.traversal.visited):
                 return fail("turbo-diff", "visited arrays diverge")
+
+        # Stage 5b: hive differential — the batched lockstep engine must
+        # replay the identical schedule for every run in a batch.  A
+        # two-run batch exercises true lockstep (shared slabs, per-tick
+        # selection) rather than degenerating to a scalar drain.
+        if hive and case.perturb_seed is None and case.two_level:
+            from repro.core.hive import hive_eligible, run_hive
+
+            hconfig = case.build_config()
+            if hive_eligible(hconfig):
+                try:
+                    pair = run_hive(graph, [(case.root, hconfig)] * 2)
+                except ReproError as exc:
+                    return fail("hive-diff", f"{type(exc).__name__}: {exc}")
+                for i, hres in enumerate(pair):
+                    if (hres.cycles != result.cycles
+                            or hres.engine.steps != result.engine.steps):
+                        return fail(
+                            "hive-diff",
+                            f"lockstep run {i} diverges: cycles "
+                            f"{result.cycles}/{hres.cycles}, steps "
+                            f"{result.engine.steps}/{hres.engine.steps}")
+                    if not np.array_equal(hres.traversal.parent,
+                                          result.traversal.parent):
+                        diff = np.flatnonzero(hres.traversal.parent
+                                              != result.traversal.parent)
+                        return fail(
+                            "hive-diff",
+                            f"lockstep run {i}: parent arrays diverge at "
+                            f"{diff.size} vertices "
+                            f"(e.g. {diff[:5].tolist()})")
+                    if not np.array_equal(hres.traversal.visited,
+                                          result.traversal.visited):
+                        return fail("hive-diff",
+                                    f"lockstep run {i}: visited arrays "
+                                    f"diverge")
+                    if vars(hres.counters) != vars(result.counters):
+                        keys = sorted(
+                            k for k, v in vars(result.counters).items()
+                            if vars(hres.counters).get(k) != v)
+                        return fail(
+                            "hive-diff",
+                            f"lockstep run {i}: counters diverge "
+                            f"({', '.join(keys)})")
 
         # Stage 6: scheduler differential (heap vs calendar queue).
         # Perturbed runs use the dedicated perturbation loop, which

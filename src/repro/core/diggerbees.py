@@ -27,7 +27,7 @@ from repro.sim.metrics import mteps as _mteps
 from repro.sim.trace import SimCounters, TraceLog
 from repro.validate.reference import TraversalResult
 
-__all__ = ["DiggerBeesResult", "run_diggerbees"]
+__all__ = ["DiggerBeesResult", "run_diggerbees", "package_result"]
 
 
 @dataclass(frozen=True)
@@ -141,7 +141,23 @@ def run_diggerbees(
         )
     if check_invariants:
         state.check_invariants()
+    return package_result(state, engine, record_order=record_order)
 
+
+def package_result(state: RunState, engine: EngineResult, *,
+                   record_order: bool = False) -> DiggerBeesResult:
+    """Package a drained run into a :class:`DiggerBeesResult`.
+
+    Shared by every execution tier (generic engine, turbo, hive): the
+    pending-entry sanity check, traversal assembly, and simulated-time
+    conversion are identical, so the tiers produce identical results by
+    construction.
+    """
+    if state.pending != 0:
+        raise SimulationError(
+            f"engine stopped with {state.pending} entries pending"
+        )
+    root = state.root
     order = np.empty(0, dtype=np.int64)
     if record_order:
         # Trace events are appended in execution order (steps run
@@ -161,13 +177,14 @@ def run_diggerbees(
         order=order,
         edges_traversed=state.counters.edges_traversed,
     )
+    device = state.device
     seconds = device.cycles_to_seconds(engine.cycles)
     return DiggerBeesResult(
         traversal=traversal,
         cycles=engine.cycles,
         seconds=seconds,
         counters=state.counters,
-        config=config,
+        config=state.config,
         device=device,
         engine=engine,
         trace=state.trace,

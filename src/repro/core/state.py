@@ -28,7 +28,57 @@ from repro.sim.trace import SimCounters, TraceLog
 from repro.utils.rng import make_rng, spawn
 from repro.validate.reference import ROOT_PARENT, UNVISITED_PARENT
 
-__all__ = ["BlockState", "RunState"]
+__all__ = ["BatchSlabs", "BlockState", "RunState"]
+
+
+class BatchSlabs:
+    """Batched structure-of-arrays storage for B lockstep runs (hive).
+
+    Every per-run slab that :class:`RunState` normally allocates as a
+    plain list / ``array('q')`` grows a leading batch axis here and
+    becomes one NumPy array shared by B runs.  Each run's
+    :class:`RunState` receives *row views* (``slab[row]``) of these
+    arrays, so the existing object API (HotRing/ColdSeg pointers,
+    active masks, contention debt, visited/parent) operates on exactly
+    the storage the hive engine's vectorized tick gathers across the
+    batch dimension.
+
+    Rows of a C-contiguous 2-D array are themselves contiguous, so the
+    per-run views support everything the private backings do
+    (memoryview of the visited row included).  Requires a two-level
+    config: the hive engine never runs the one-level ablation.
+    """
+
+    __slots__ = ("batch", "n_agents", "hot_size", "n_blocks",
+                 "hot_vertex", "hot_offset", "hot_ptr", "cold_ptr",
+                 "active_mask", "debt", "visited", "parent")
+
+    def __init__(self, batch: int, config: DiggerBeesConfig,
+                 n_vertices: int):
+        if batch < 1:
+            raise SimulationError(f"batch must be >= 1, got {batch}")
+        if not config.two_level:
+            raise SimulationError(
+                "BatchSlabs requires a two-level config (hive engine)"
+            )
+        n_agents = config.n_warps
+        self.batch = batch
+        self.n_agents = n_agents
+        self.hot_size = config.hot_size
+        self.n_blocks = config.n_blocks
+        self.hot_vertex = np.zeros((batch, n_agents, config.hot_size),
+                                   dtype=np.int64)
+        self.hot_offset = np.zeros((batch, n_agents, config.hot_size),
+                                   dtype=np.int64)
+        # Pointer layout matches the scalar slabs: hot (head, tail) and
+        # cold (top, bottom) pairs at (2g, 2g + 1) for warp g.
+        self.hot_ptr = np.zeros((batch, 2 * n_agents), dtype=np.int64)
+        self.cold_ptr = np.zeros((batch, 2 * n_agents), dtype=np.int64)
+        self.active_mask = np.zeros((batch, config.n_blocks), dtype=np.int64)
+        self.debt = np.zeros((batch, n_agents), dtype=np.int64)
+        self.visited = np.zeros((batch, n_vertices), dtype=np.uint8)
+        self.parent = np.full((batch, n_vertices), UNVISITED_PARENT,
+                              dtype=np.int64)
 
 
 class BlockState:
@@ -97,10 +147,11 @@ class BlockState:
             if type(s) is WarpStack:  # inlined len(hot) + len(cold)
                 hot, cold = s.hot, s.cold
                 ptrs = hot._ptrs  # direct slab read: skip property dispatch
+                cptrs = cold._ptrs
                 d = ptrs[hot._hi] - ptrs[hot._ti]
                 if d < 0:
                     d += hot.size
-                total += d + cold.top - cold.bottom
+                total += d + cptrs[cold._ti] - cptrs[cold._bi]
             else:
                 total += len(s)
         return total
@@ -129,6 +180,9 @@ class RunState:
         root: int,
         config: DiggerBeesConfig,
         device: DeviceSpec,
+        *,
+        slabs: Optional["BatchSlabs"] = None,
+        slab_row: int = 0,
     ):
         graph._check_vertex(root)
         config.check_fits_device(device)
@@ -139,8 +193,20 @@ class RunState:
         self.costs = device.costs
 
         n = graph.n_vertices
-        self.visited = np.zeros(n, dtype=np.uint8)
-        self.parent = np.full(n, UNVISITED_PARENT, dtype=np.int64)
+        if slabs is None:
+            self.visited = np.zeros(n, dtype=np.uint8)
+            self.parent = np.full(n, UNVISITED_PARENT, dtype=np.int64)
+        else:
+            # Hive batch backing: this run's state is row ``slab_row``
+            # of every batched slab (see BatchSlabs).  The rows are
+            # contiguous views, so everything below — including the
+            # memoryview fast path — works unchanged.
+            if not (0 <= slab_row < slabs.batch):
+                raise SimulationError(
+                    f"slab_row {slab_row} outside batch {slabs.batch}"
+                )
+            self.visited = slabs.visited[slab_row]
+            self.parent = slabs.parent[slab_row]
 
         # Fast-path mirrors of the hot read-only data.  The simulator's
         # inner loop inspects <= 32 neighbours per step; at that size the
@@ -185,24 +251,37 @@ class RunState:
         # while every other code path keeps using the object API.
         n_agents = config.n_warps
         wpb = config.warps_per_block
-        if config.two_level:
-            # One row (plain list — see HotRing) of entry storage per
-            # warp, preallocated here so construction is one pass.
-            self.hot_vertex_slab = [[0] * config.hot_size
-                                    for _ in range(n_agents)]
-            self.hot_offset_slab = [[0] * config.hot_size
-                                    for _ in range(n_agents)]
+        if slabs is not None:
+            # Batched backing (hive): every slab is one row of the
+            # shared batch arrays.  Indexing a row yields views with
+            # identical semantics to the private backings below.
+            self.hot_vertex_slab = slabs.hot_vertex[slab_row]
+            self.hot_offset_slab = slabs.hot_offset[slab_row]
+            self.hot_ptr_slab = slabs.hot_ptr[slab_row]
+            self.cold_ptr_slab = slabs.cold_ptr[slab_row]
+            self.active_mask_slab = slabs.active_mask[slab_row]
+            self.contention_debt_slab = slabs.debt[slab_row]
+            debt_mv = self.contention_debt_slab
         else:
-            self.hot_vertex_slab = None
-            self.hot_offset_slab = None
-        # Plain lists, not array('q'): values are small non-negative
-        # indices/masks (no overflow concern) and list indexing is the
-        # cheapest subscript in CPython — these slots are read several
-        # times per simulated step.
-        self.hot_ptr_slab = [0] * (2 * n_agents)
-        self.active_mask_slab = [0] * config.n_blocks
-        self.contention_debt_slab = array("q", (0,) * n_agents)
-        debt_mv = memoryview(self.contention_debt_slab)
+            if config.two_level:
+                # One row (plain list — see HotRing) of entry storage per
+                # warp, preallocated here so construction is one pass.
+                self.hot_vertex_slab = [[0] * config.hot_size
+                                        for _ in range(n_agents)]
+                self.hot_offset_slab = [[0] * config.hot_size
+                                        for _ in range(n_agents)]
+            else:
+                self.hot_vertex_slab = None
+                self.hot_offset_slab = None
+            # Plain lists, not array('q'): values are small non-negative
+            # indices/masks (no overflow concern) and list indexing is the
+            # cheapest subscript in CPython — these slots are read several
+            # times per simulated step.
+            self.hot_ptr_slab = [0] * (2 * n_agents)
+            self.cold_ptr_slab = [0] * (2 * n_agents)
+            self.active_mask_slab = [0] * config.n_blocks
+            self.contention_debt_slab = array("q", (0,) * n_agents)
+            debt_mv = memoryview(self.contention_debt_slab)
 
         cold_cap = max(1, n // config.n_warps)  # the paper's nv/nw sizing
         self.blocks: List[BlockState] = []
@@ -224,6 +303,8 @@ class RunState:
                         hot_offset=self.hot_offset_slab[g],
                         hot_ptrs=self.hot_ptr_slab,
                         hot_base=2 * g,
+                        cold_ptrs=self.cold_ptr_slab,
+                        cold_base=2 * g,
                     ))
                 else:
                     block.stacks.append(OneLevelStack())

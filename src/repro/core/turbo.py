@@ -46,8 +46,8 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.state import RunState
 from repro.core.warp_dfs import WarpAgent, _Phase
-from repro.errors import DeadlockError, SimulationError
-from repro.sim.engine import EngineResult
+from repro.sim.engine import (EngineResult, deadlocked_error,
+                              non_positive_cost_error, over_budget_error)
 
 __all__ = ["turbo_eligible", "run_turbo"]
 
@@ -127,6 +127,7 @@ def _drain(
     masks = state.active_mask_slab
     debts = state.contention_debt_slab
     ptrs = state.hot_ptr_slab
+    cptrs = state.cold_ptr_slab
     hsize = config.hot_size
     trace = state.trace
     record = state.record
@@ -205,11 +206,7 @@ def _drain(
                 break
             if t > now:
                 if t > max_cycles:
-                    raise SimulationError(
-                        f"simulation exceeded max_cycles={max_cycles} "
-                        f"(next event at {t}, steps={steps}); cost model "
-                        f"or algorithm is runaway"
-                    )
+                    raise over_budget_error(max_cycles, t, steps)
                 now = t
             agent = rec[0]
             done = False
@@ -219,7 +216,8 @@ def _drain(
                  hv, ho, hpi, tpi, key) = rec
                 head = ptrs[hpi]
                 hot_empty = head == ptrs[tpi]
-                if not hot_empty or cold.top != cold.bottom:
+                g2 = gidx + gidx  # cold (top, bottom) slab pair
+                if not hot_empty or cptrs[g2] != cptrs[g2 + 1]:
                     m = masks[bid]
                     if not m & bit:
                         masks[bid] = m | bit
@@ -320,7 +318,7 @@ def _drain(
                                         depth += hsize
                                     if depth > mx_hot:
                                         mx_hot = depth
-                                    depth = cold.top - cold.bottom
+                                    depth = cptrs[g2] - cptrs[g2 + 1]
                                     if depth > mx_cold:
                                         mx_cold = depth
                                     d_pushes += 1
@@ -405,17 +403,11 @@ def _drain(
             else:
                 stale += 1
                 if stale > window:
-                    raise DeadlockError(
-                        f"no progress in {stale} consecutive steps at "
-                        f"cycle {now} with work pending"
-                    )
+                    raise deadlocked_error(stale, now)
             if done:
                 continue
             if cost < 1:
-                raise SimulationError(
-                    f"agent {agent!r} returned non-positive cost {cost} "
-                    f"without finishing"
-                )
+                raise non_positive_cost_error(agent, cost)
             t2 = now + cost
             b2 = buckets.get(t2)
             if b2 is None:

@@ -193,18 +193,30 @@ class HotRing:
         ptrs = self._ptrs
         tail = ptrs[self._ti]
         size = self.size
+        vl, ol = self.vertex, self.offset
         end = tail + count
         if end <= size:
-            verts = np.asarray(self.vertex[tail:end], dtype=_ENTRY_DTYPE)
-            offs = np.asarray(self.offset[tail:end], dtype=_ENTRY_DTYPE)
+            if type(vl) is list:
+                verts = np.asarray(vl[tail:end], dtype=_ENTRY_DTYPE)
+                offs = np.asarray(ol[tail:end], dtype=_ENTRY_DTYPE)
+            else:
+                # ndarray row backing (hive batch slabs): slices are
+                # views of live ring storage, so copy before the slots
+                # can be overwritten by later pushes.
+                verts = np.array(vl[tail:end], dtype=_ENTRY_DTYPE)
+                offs = np.array(ol[tail:end], dtype=_ENTRY_DTYPE)
             if end == size:
                 end = 0
         else:
             end -= size
-            verts = np.asarray(self.vertex[tail:] + self.vertex[:end],
-                               dtype=_ENTRY_DTYPE)
-            offs = np.asarray(self.offset[tail:] + self.offset[:end],
-                              dtype=_ENTRY_DTYPE)
+            if type(vl) is list:
+                verts = np.asarray(vl[tail:] + vl[:end], dtype=_ENTRY_DTYPE)
+                offs = np.asarray(ol[tail:] + ol[:end], dtype=_ENTRY_DTYPE)
+            else:
+                # ``+`` would be elementwise addition on ndarrays;
+                # concatenate (which also copies) is the wrap-around.
+                verts = np.concatenate((vl[tail:], vl[:end]))
+                offs = np.concatenate((ol[tail:], ol[:end]))
         ptrs[self._ti] = end
         return verts, offs
 
@@ -255,51 +267,89 @@ class ColdSeg:
     ``steal_from_bottom`` removes from ``bottom`` (inter-block steal).
     The backing array grows by doubling and compacts (shifting the live
     region to offset 0) when the dead prefix dominates.
+
+    Structure-of-arrays backing, mirroring :class:`HotRing`: the
+    ``top``/``bottom`` pointer pair can live inside a run-wide slab
+    (two slots of a shared list, or a row of the hive engine's batched
+    pointer array).  The fused loops bind the slab locally and read
+    every segment's occupancy without attribute dispatch; the
+    properties here remain the single source of truth for all other
+    code paths.  A standalone ``ColdSeg(reserve)`` allocates private
+    pointer slots, preserving the original API.
     """
 
-    __slots__ = ("vertex", "offset", "top", "bottom", "configured_capacity",
-                 "compactions", "peak_occupancy")
+    __slots__ = ("vertex", "offset", "_ptrs", "_ti", "_bi",
+                 "configured_capacity", "compactions", "peak_occupancy")
 
-    def __init__(self, reserve: int = 256, configured_capacity: int = 0):
+    def __init__(self, reserve: int = 256, configured_capacity: int = 0, *,
+                 ptrs=None, base: int = 0):
         if reserve < 1:
             raise SimulationError(f"ColdSeg reserve must be >= 1, got {reserve}")
         self.vertex = np.zeros(reserve, dtype=_ENTRY_DTYPE)
         self.offset = np.zeros(reserve, dtype=_ENTRY_DTYPE)
-        self.top = 0
-        self.bottom = 0
+        if ptrs is None:
+            ptrs, base = [0, 0], 0
+        self._ptrs = ptrs
+        self._ti = base
+        self._bi = base + 1
+        ptrs[base] = 0
+        ptrs[base + 1] = 0
         #: The paper's static nv/nw sizing, for reporting only.
         self.configured_capacity = configured_capacity
         self.compactions = 0
         self.peak_occupancy = 0
 
+    # ``top``/``bottom`` read/write the pointer slab so the owner,
+    # thieves, and the fused loops all observe the same storage.
+    @property
+    def top(self) -> int:
+        return self._ptrs[self._ti]
+
+    @top.setter
+    def top(self, value: int) -> None:
+        self._ptrs[self._ti] = value
+
+    @property
+    def bottom(self) -> int:
+        return self._ptrs[self._bi]
+
+    @bottom.setter
+    def bottom(self, value: int) -> None:
+        self._ptrs[self._bi] = value
+
     def __len__(self) -> int:
         """Occupancy: ``top - bottom`` — the paper's cold_rest."""
-        return self.top - self.bottom
+        ptrs = self._ptrs
+        return int(ptrs[self._ti] - ptrs[self._bi])
 
     @property
     def is_empty(self) -> bool:
-        return self.top == self.bottom
+        ptrs = self._ptrs
+        return ptrs[self._ti] == ptrs[self._bi]
 
     def _ensure_room(self, count: int) -> None:
         cap = self.vertex.size
-        if self.top + count <= cap:
+        ptrs = self._ptrs
+        top = ptrs[self._ti]
+        bottom = ptrs[self._bi]
+        if top + count <= cap:
             return
-        live = len(self)
+        live = top - bottom
         # Prefer compaction when at least half the array is dead prefix.
-        if self.bottom >= cap // 2 and live + count <= cap:
-            self.vertex[:live] = self.vertex[self.bottom:self.top]
-            self.offset[:live] = self.offset[self.bottom:self.top]
-            self.bottom = 0
-            self.top = live
+        if bottom >= cap // 2 and live + count <= cap:
+            self.vertex[:live] = self.vertex[bottom:top]
+            self.offset[:live] = self.offset[bottom:top]
+            ptrs[self._bi] = 0
+            ptrs[self._ti] = live
             self.compactions += 1
             return
         new_cap = cap
-        while self.top + count > new_cap:
+        while top + count > new_cap:
             new_cap *= 2
         nv = np.zeros(new_cap, dtype=_ENTRY_DTYPE)
         no = np.zeros(new_cap, dtype=_ENTRY_DTYPE)
-        nv[self.bottom:self.top] = self.vertex[self.bottom:self.top]
-        no[self.bottom:self.top] = self.offset[self.bottom:self.top]
+        nv[bottom:top] = self.vertex[bottom:top]
+        no[bottom:top] = self.offset[bottom:top]
         self.vertex, self.offset = nv, no
 
     def push_batch(self, verts: np.ndarray, offs: np.ndarray) -> None:
@@ -308,9 +358,11 @@ class ColdSeg:
         if count == 0:
             return
         self._ensure_room(count)
-        self.vertex[self.top:self.top + count] = verts
-        self.offset[self.top:self.top + count] = offs
-        self.top += count
+        ptrs = self._ptrs
+        top = ptrs[self._ti]
+        self.vertex[top:top + count] = verts
+        self.offset[top:top + count] = offs
+        ptrs[self._ti] = top + count
         self.peak_occupancy = max(self.peak_occupancy, len(self))
 
     def pop_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -321,10 +373,12 @@ class ColdSeg:
         """
         if count < 1 or count > len(self):
             raise SimulationError(f"pop_batch({count}) with only {len(self)} entries")
-        lo = self.top - count
-        verts = self.vertex[lo:self.top].copy()
-        offs = self.offset[lo:self.top].copy()
-        self.top = lo
+        ptrs = self._ptrs
+        top = ptrs[self._ti]
+        lo = top - count
+        verts = self.vertex[lo:top].copy()
+        offs = self.offset[lo:top].copy()
+        ptrs[self._ti] = lo
         return verts, offs
 
     def steal_from_bottom(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -333,16 +387,20 @@ class ColdSeg:
             raise SimulationError(
                 f"steal_from_bottom({count}) with only {len(self)} entries"
             )
-        verts = self.vertex[self.bottom:self.bottom + count].copy()
-        offs = self.offset[self.bottom:self.bottom + count].copy()
-        self.bottom += count
+        ptrs = self._ptrs
+        bottom = ptrs[self._bi]
+        verts = self.vertex[bottom:bottom + count].copy()
+        offs = self.offset[bottom:bottom + count].copy()
+        ptrs[self._bi] = bottom + count
         return verts, offs
 
     def snapshot(self) -> List[Tuple[int, int]]:
         """Entries oldest-first (for tests)."""
+        ptrs = self._ptrs
+        top, bottom = ptrs[self._ti], ptrs[self._bi]
         return list(zip(
-            self.vertex[self.bottom:self.top].tolist(),
-            self.offset[self.bottom:self.top].tolist(),
+            self.vertex[bottom:top].tolist(),
+            self.offset[bottom:top].tolist(),
         ))
 
 
@@ -377,7 +435,8 @@ class WarpStack:
                  flush_policy: str = "tail",
                  hot_vertex: Optional[list] = None,
                  hot_offset: Optional[list] = None,
-                 hot_ptrs: Optional[list] = None, hot_base: int = 0):
+                 hot_ptrs: Optional[list] = None, hot_base: int = 0,
+                 cold_ptrs=None, cold_base: int = 0):
         if flush_batch >= hot_size or refill_batch >= hot_size:
             raise SimulationError(
                 "flush/refill batch must be smaller than hot_size"
@@ -388,7 +447,8 @@ class WarpStack:
             )
         self.hot = HotRing(hot_size, vertex=hot_vertex, offset=hot_offset,
                            ptrs=hot_ptrs, base=hot_base)
-        self.cold = ColdSeg(cold_reserve, configured_cold_capacity)
+        self.cold = ColdSeg(cold_reserve, configured_cold_capacity,
+                            ptrs=cold_ptrs, base=cold_base)
         self.flush_batch = flush_batch
         self.refill_batch = refill_batch
         self.flush_policy = flush_policy
@@ -402,8 +462,9 @@ class WarpStack:
     def is_empty(self) -> bool:
         hot, cold = self.hot, self.cold
         ptrs = hot._ptrs  # direct slab reads: skip property dispatch
+        cptrs = cold._ptrs
         return (ptrs[hot._hi] == ptrs[hot._ti]
-                and cold.top == cold.bottom)
+                and cptrs[cold._ti] == cptrs[cold._bi])
 
     def needs_flush(self) -> bool:
         """True when a push requires flushing first (HotRing full)."""
@@ -445,8 +506,9 @@ class WarpStack:
     def can_refill(self) -> bool:
         hot, cold = self.hot, self.cold
         ptrs = hot._ptrs
+        cptrs = cold._ptrs
         return (ptrs[hot._hi] == ptrs[hot._ti]
-                and cold.top != cold.bottom)
+                and cptrs[cold._ti] != cptrs[cold._bi])
 
     def refill(self) -> int:
         """Move up to ``refill_batch`` newest ColdSeg entries into the HotRing.

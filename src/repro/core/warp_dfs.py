@@ -70,6 +70,7 @@ class WarpAgent:
                  "phase", "intra_plan", "inter_plan", "backoff",
                  "_two_level", "_gpenalty", "_bit", "_fastpath", "_out",
                  "_hv", "_ho", "_ptrs", "_hpi", "_tpi", "_hsize",
+                 "_cptrs", "_cti", "_cbi",
                  "_c_pop", "_c_visit_base", "_c_visit_per_edge",
                  "_c_push", "_c_visited_cas", "_c_cas_retry",
                  "_c_flush_base", "_c_flush_per_entry")
@@ -111,9 +112,15 @@ class WarpAgent:
             self._hpi = hot._hi
             self._tpi = hot._ti
             self._hsize = hot.size
+            cold = self.stack.cold
+            self._cptrs = cold._ptrs
+            self._cti = cold._ti
+            self._cbi = cold._bi
         else:
             self._hv = self._ho = self._ptrs = None
             self._hpi = self._tpi = self._hsize = 0
+            self._cptrs = None
+            self._cti = self._cbi = 0
         costs = state.costs
         self._c_pop = costs.hot_pop + self._gpenalty
         self._c_visit_base = costs.visit_base + self._gpenalty
@@ -142,10 +149,10 @@ class WarpAgent:
         if self._two_level and self._fastpath:
             # Inlined _work() for the common case: two-level stack on the
             # fast path (identical costs/effects, fewer Python frames).
-            cold = stack.cold
+            cptrs = self._cptrs
             ptrs = self._ptrs
             hot_empty = ptrs[self._hpi] == ptrs[self._tpi]
-            if not hot_empty or cold.top != cold.bottom:
+            if not hot_empty or cptrs[self._cti] != cptrs[self._cbi]:
                 block = self.block
                 bit = self._bit
                 if not block.active_mask & bit:
@@ -340,8 +347,8 @@ class WarpAgent:
                 depth += hsize
             if depth > counters.max_hot_depth:
                 counters.max_hot_depth = depth
-            cold = stack.cold
-            depth = cold.top - cold.bottom
+            cptrs = self._cptrs
+            depth = cptrs[self._cti] - cptrs[self._cbi]
             if depth > counters.max_cold_depth:
                 counters.max_cold_depth = depth
         else:

@@ -64,10 +64,39 @@ from typing import Callable, List, Optional, Protocol, Sequence
 
 from repro.errors import DeadlockError, SimulationError
 
-__all__ = ["Agent", "StepOutcome", "EngineResult", "EventLoop", "SCHEDULERS"]
+__all__ = ["Agent", "StepOutcome", "EngineResult", "EventLoop", "SCHEDULERS",
+           "over_budget_error", "deadlocked_error", "non_positive_cost_error"]
 
 #: Accepted ``scheduler`` arguments ("auto" resolves to the calendar queue).
 SCHEDULERS = ("auto", "heap", "calendar")
+
+
+# ----------------------------------------------------------------------
+# Shared error formatting.  The generic engine, the turbo fused loop,
+# and the hive batch engine all promise *identical* failure behavior:
+# one message format per failure class, asserted by the differential
+# ladder, so the three drains build their exceptions here.
+def over_budget_error(max_cycles: int, ready_at: int,
+                      steps: int) -> SimulationError:
+    return SimulationError(
+        f"simulation exceeded max_cycles={max_cycles} "
+        f"(next event at {ready_at}, steps={steps}); cost model or "
+        f"algorithm is runaway"
+    )
+
+
+def deadlocked_error(stale: int, now: int) -> DeadlockError:
+    return DeadlockError(
+        f"no progress in {stale} consecutive steps at cycle "
+        f"{now} with work pending"
+    )
+
+
+def non_positive_cost_error(agent: object, cost: int) -> SimulationError:
+    return SimulationError(
+        f"agent {agent!r} returned non-positive cost "
+        f"{cost} without finishing"
+    )
 
 
 class StepOutcome:
@@ -221,17 +250,10 @@ class EventLoop:
 
     # ------------------------------------------------------------------
     def _over_budget(self, ready_at: int, steps: int) -> SimulationError:
-        return SimulationError(
-            f"simulation exceeded max_cycles={self._max_cycles} "
-            f"(next event at {ready_at}, steps={steps}); cost model or "
-            f"algorithm is runaway"
-        )
+        return over_budget_error(self._max_cycles, ready_at, steps)
 
     def _deadlocked(self, stale: int, now: int) -> DeadlockError:
-        return DeadlockError(
-            f"no progress in {stale} consecutive steps at cycle "
-            f"{now} with work pending"
-        )
+        return deadlocked_error(stale, now)
 
     # ------------------------------------------------------------------
     def _run_heap(self) -> EngineResult:
@@ -281,10 +303,7 @@ class EventLoop:
             if not outcome.done:
                 cost = outcome.cost
                 if cost < 1:
-                    raise SimulationError(
-                        f"agent {agent!r} returned non-positive cost "
-                        f"{cost} without finishing"
-                    )
+                    raise non_positive_cost_error(agent, cost)
                 # Slot reuse: refresh the popped entry in place.
                 entry[0] = now + cost
                 entry[1] = next_seq
@@ -350,10 +369,7 @@ class EventLoop:
                 if not outcome.done:
                     cost = outcome.cost
                     if cost < 1:
-                        raise SimulationError(
-                            f"agent {agent!r} returned non-positive cost "
-                            f"{cost} without finishing"
-                        )
+                        raise non_positive_cost_error(agent, cost)
                     t2 = now + cost
                     b2 = buckets.get(t2)
                     if b2 is None:
@@ -423,10 +439,7 @@ class EventLoop:
             if not outcome.done:
                 cost = outcome.cost
                 if cost < 1:
-                    raise SimulationError(
-                        f"agent {agent!r} returned non-positive cost "
-                        f"{cost} without finishing"
-                    )
+                    raise non_positive_cost_error(agent, cost)
                 if jitter:
                     cost += rnd.randrange(jitter + 1)
                 push(heap, (now + cost, randbits(32), next_seq, agent))

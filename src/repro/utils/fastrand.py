@@ -104,9 +104,18 @@ class BoundedDraws:
 
 _REPLICA_OK: Optional[bool] = None
 
+#: How many times the validation probe has actually executed in this
+#: interpreter.  The verdict is cached in ``_REPLICA_OK``, so after the
+#: first ``wrap_generator`` call this must stay at 1 for the life of the
+#: process — a regression test asserts exactly that (the probe costs
+#: ~1000 bounded draws; paying it per wrap would tax every RunState).
+SELF_CHECK_RUNS = 0
+
 
 def _self_check() -> bool:
     """Compare the replica with a real Generator on one shared stream."""
+    global SELF_CHECK_RUNS
+    SELF_CHECK_RUNS += 1
     seed = 0xD1665EED
     probe = random.Random(991)
     rep = BoundedDraws(np.random.default_rng(seed), chunk=8)

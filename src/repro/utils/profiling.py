@@ -55,6 +55,17 @@ class PhaseTimer:
             self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
             self._counts[name] = self._counts.get(name, 0) + 1
 
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate an externally-measured duration into a phase.
+
+        For call sites that derive the representative duration from
+        several raw timings (e.g. a median over repeats) instead of
+        timing a ``with`` block directly: the derived value lands in
+        the same bucket ``phase(name)`` would use.
+        """
+        self._elapsed[name] = self._elapsed.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
     def elapsed(self, name: str) -> float:
         """Total seconds accumulated in one phase (0.0 if never entered)."""
         return self._elapsed.get(name, 0.0)

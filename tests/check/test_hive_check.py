@@ -1,0 +1,58 @@
+"""Coverage for the hive rung of the differential oracle ladder."""
+
+import pytest
+
+from repro.check.cases import FuzzCase, case_from_seed
+from repro.check.cli import build_parser, run_mutant
+from repro.check.differential import CheckFailure, check_case
+
+
+def _eligible_case() -> FuzzCase:
+    """A small unperturbed two-level case — the hive rung executes."""
+    return FuzzCase(
+        seed=0, family="road_network", n_vertices=96, graph_seed=7,
+        n_blocks=2, warps_per_block=2, hot_size=8, hot_cutoff=2,
+        cold_cutoff=2, flush_batch=2, refill_batch=2,
+        adversarial_victims=True,
+    )
+
+
+def test_clean_case_passes_hive_ladder():
+    assert check_case(_eligible_case(), hive=True) is None
+
+
+def test_seeded_cases_pass_hive_ladder():
+    for seed in range(3):
+        case = case_from_seed(seed)
+        assert check_case(case, hive=True) is None, seed
+
+
+def test_repro_command_carries_hive_flag():
+    failure = CheckFailure(case=_eligible_case(), stage="hive-diff",
+                           message="boom", hive=True)
+    assert " --hive" in failure.repro_command
+    plain = CheckFailure(case=_eligible_case(), stage="turbo-diff",
+                         message="boom")
+    assert "--hive" not in plain.repro_command
+
+
+@pytest.mark.parametrize("mutation", [
+    "claim_lost_store",
+    "inter_skip_cas_validation",
+])
+def test_mutations_caught_under_hive(mutation):
+    """The hive rung must not mask injected protocol bugs: the ladder
+    still reports each mutation within a small fuzz budget."""
+    failure = run_mutant(mutation, budget=12, hive=True)
+    assert failure is not None
+    assert failure.mutation == mutation
+    # The replayed failure is hive-mode, so the repro command round-trips.
+    assert failure.hive and " --hive" in failure.repro_command
+
+
+def test_cli_accepts_hive_flag():
+    parser = build_parser()
+    for argv in (["fuzz", "--hive"], ["repro", "3", "--hive"],
+                 ["mutants", "--hive"]):
+        args = parser.parse_args(argv)
+        assert args.hive is True

@@ -1,0 +1,65 @@
+"""Regression coverage for the fastrand self-check cache.
+
+``wrap_generator`` validates the Lemire replica against a real NumPy
+``Generator`` before first use.  The probe costs ~1000 bounded draws, so
+its verdict must be computed once per interpreter and cached — every
+``RunState`` wraps a generator, and a per-wrap probe would tax each of
+the thousands of runs a sweep or hive batch creates.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.utils import fastrand
+from repro.utils.fastrand import BoundedDraws, wrap_generator
+
+import numpy as np
+
+
+def test_self_check_runs_at_most_once_per_process():
+    """Repeated wraps never re-probe: the cached verdict is reused."""
+    for _ in range(5):
+        wrap_generator(np.random.default_rng(123))
+    assert fastrand.SELF_CHECK_RUNS == 1
+    # The verdict is pinned; later wraps are pure constructions.
+    wrap_generator(np.random.default_rng(456))
+    assert fastrand.SELF_CHECK_RUNS == 1
+
+
+def test_self_check_reruns_only_when_cache_cleared(monkeypatch):
+    wrap_generator(np.random.default_rng(1))  # ensure the cache is warm
+    runs = fastrand.SELF_CHECK_RUNS
+    monkeypatch.setattr(fastrand, "_REPLICA_OK", None)
+    wrapped = wrap_generator(np.random.default_rng(2))
+    assert fastrand.SELF_CHECK_RUNS == runs + 1
+    assert isinstance(wrapped, BoundedDraws)
+    monkeypatch.setattr(fastrand, "SELF_CHECK_RUNS", runs)
+
+
+def test_self_check_once_in_fresh_interpreter():
+    """End-to-end: a fresh process that builds many generators (several
+    simulated runs included) executes the probe exactly once."""
+    code = (
+        "import numpy as np\n"
+        "from repro.utils import fastrand\n"
+        "from repro.check.cases import FuzzCase\n"
+        "from repro.core.diggerbees import run_diggerbees\n"
+        "case = FuzzCase(seed=0, family='road_network', n_vertices=64,\n"
+        "                graph_seed=3)\n"
+        "g = case.build_graph()\n"
+        "for s in range(3):\n"
+        "    run_diggerbees(g, 0, config=case.build_config(seed=s))\n"
+        "for s in range(10):\n"
+        "    fastrand.wrap_generator(np.random.default_rng(s))\n"
+        "print(fastrand.SELF_CHECK_RUNS)\n"
+    )
+    env = dict(os.environ)
+    src = str(pathlib.Path(fastrand.__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        check=True, env=env,
+    )
+    assert out.stdout.strip() == "1"
