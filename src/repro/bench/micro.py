@@ -1,9 +1,11 @@
 """Fixed engine micro-sweep with machine-readable output.
 
-``python -m repro.bench micro`` runs four fixed DiggerBees simulations
-(two road networks, a preferential-attachment graph and a Delaunay mesh
-— the structural regimes that stress different engine paths), and writes
-``BENCH_engine.json`` with wall-time, simulated cycles, and steps/sec
+``python -m repro.bench micro`` runs six fixed DiggerBees simulations
+(two road networks, a preferential-attachment graph, a Delaunay mesh,
+and two steal-heavy cases — a deep skewed tree and a hub-rooted
+power-law graph on tight stack geometry — the structural regimes that
+stress different engine paths), and writes ``BENCH_engine.json`` with
+wall-time, simulated cycles, steps/sec, and steal/refill event counts
 per case.  That file seeds the performance trajectory: future perf PRs
 compare against the recorded baseline
 (``benchmarks/baseline_micro.json``) and the run **fails** when
@@ -93,7 +95,39 @@ MICRO_CASES: Tuple[Tuple[str, Callable, DiggerBeesConfig], ...] = (
     ("mesh1500",
      _corpus_case("delaunay_mesh", "mesh1500", {"n_vertices": 1500}, 4),
      DiggerBeesConfig(n_blocks=4, warps_per_block=8, seed=4)),
+    # Steal-heavy regime: tight stack geometry so bailout events
+    # (refills, intra/inter steals, leader work) dominate the schedule
+    # instead of the expand fast path.  skew3000 is a deep skewed tree
+    # (one warp owns the spine, the rest hammer the steal protocol);
+    # hub2500 is a hub-rooted power-law graph (a burst of work at the
+    # root that must spread by stealing).
+    ("skew3000",
+     _corpus_case("skewed_tree", "skew3000", {"n_vertices": 3000}, 5),
+     DiggerBeesConfig(n_blocks=4, warps_per_block=4, hot_size=16,
+                      hot_cutoff=4, cold_cutoff=8, flush_batch=4,
+                      refill_batch=4, cold_reserve=64, seed=5)),
+    ("hub2500",
+     _corpus_case("preferential_attachment", "hub2500",
+                  {"n_vertices": 2500, "m": 4}, 6),
+     DiggerBeesConfig(n_blocks=8, warps_per_block=4, hot_size=16,
+                      hot_cutoff=4, cold_cutoff=8, flush_batch=4,
+                      refill_batch=4, cold_reserve=64, seed=6)),
 )
+
+
+def _case_events(counters) -> Dict:
+    """Steal/refill protocol event counts for the bench payload."""
+    return {
+        "refills": counters.refills,
+        "refill_entries": counters.refill_entries,
+        "intra_steals": counters.intra_steal_successes,
+        "intra_steal_attempts": counters.intra_steal_attempts,
+        "inter_steals": counters.inter_steal_successes,
+        "leader_attempts": counters.inter_steal_attempts,
+        "remote_steals": counters.remote_steal_successes,
+        "cas_failures": counters.cas_failures,
+        "idle_polls": counters.idle_polls,
+    }
 
 
 def run_micro(repeats: int = 3,
@@ -134,13 +168,15 @@ def run_micro(repeats: int = 3,
                 graph = build()
             walls: List[float] = []
             result = None
+            hive_stats: Optional[Dict] = None
             if batch > 0:
                 from repro.core.hive import run_hive
 
                 tasks = [(0, cfg)] * batch
                 for _ in range(max(1, repeats)):
+                    hive_stats = {}
                     t0 = time.perf_counter()
-                    results = run_hive(graph, tasks)
+                    results = run_hive(graph, tasks, stats=hive_stats)
                     walls.append((time.perf_counter() - t0) / batch)
                 result = results[0]
                 for i, r in enumerate(results[1:], start=1):
@@ -167,6 +203,10 @@ def run_micro(repeats: int = 3,
                 "steps_per_second": steps_per_second(result.engine.steps,
                                                      wall),
                 "exact_cycles": result.engine.exact_cycles,
+                "events": _case_events(result.counters),
+                "fallback_lane_fraction": (
+                    hive_stats.get("fallback_lane_fraction")
+                    if hive_stats is not None else None),
             })
     payload = {
         "bench": "engine_micro",

@@ -24,6 +24,10 @@ fixed oracle ladder and reports the first failure (or None):
    result bit-for-bit on cycles, steps, parent, visited *and* counters
    (skipped where the hive cannot engage, same gates as turbo plus
    hive eligibility);
+5c. **hive steal-path differential** (with 5b) — rerun the same batch
+   with ``hive_steal="scalar"``, pinning the per-lane scalar bailout
+   against the vectorized steal/refill/leader passes that 5b just
+   exercised; both engines must replay the primary's schedule exactly;
 6. **scheduler differential** — heap vs calendar-queue rerun must agree
    exactly (skipped under perturbation, which bypasses both);
 7. **PDFS baseline differential** — CKL-PDFS reachability on the same
@@ -285,6 +289,45 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                         return fail(
                             "hive-diff",
                             f"lockstep run {i}: counters diverge "
+                            f"({', '.join(keys)})")
+
+                # Stage 5c: hive steal-path differential — the batched
+                # steal/refill/leader passes (hive_steal="vector", the
+                # default above) against the per-lane scalar bailout.
+                # Both must replay the primary's schedule exactly, so
+                # any drift in the vectorized CAS/transfer/cost logic
+                # surfaces as a cycles/steps/counter mismatch here.
+                sconfig = hconfig.with_overrides(hive_steal="scalar")
+                try:
+                    spair = run_hive(graph, [(case.root, sconfig)] * 2)
+                except ReproError as exc:
+                    return fail("hive-steal-diff",
+                                f"{type(exc).__name__}: {exc}")
+                for i, hres in enumerate(spair):
+                    if (hres.cycles != result.cycles
+                            or hres.engine.steps != result.engine.steps):
+                        return fail(
+                            "hive-steal-diff",
+                            f"scalar-steal run {i} diverges: cycles "
+                            f"{result.cycles}/{hres.cycles}, steps "
+                            f"{result.engine.steps}/{hres.engine.steps}")
+                    if not np.array_equal(hres.traversal.parent,
+                                          result.traversal.parent):
+                        return fail(
+                            "hive-steal-diff",
+                            f"scalar-steal run {i}: parent arrays diverge")
+                    if not np.array_equal(hres.traversal.visited,
+                                          result.traversal.visited):
+                        return fail(
+                            "hive-steal-diff",
+                            f"scalar-steal run {i}: visited arrays diverge")
+                    if vars(hres.counters) != vars(result.counters):
+                        keys = sorted(
+                            k for k, v in vars(result.counters).items()
+                            if vars(hres.counters).get(k) != v)
+                        return fail(
+                            "hive-steal-diff",
+                            f"scalar-steal run {i}: counters diverge "
                             f"({', '.join(keys)})")
 
         # Stage 6: scheduler differential (heap vs calendar queue).

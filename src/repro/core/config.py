@@ -21,9 +21,11 @@ from repro.errors import SimulationError
 from repro.sim.device import DeviceSpec, H100, hotring_smem_bytes
 from repro.sim.engine import SCHEDULERS
 
-__all__ = ["DiggerBeesConfig", "VICTIM_POLICIES"]
+__all__ = ["DiggerBeesConfig", "VICTIM_POLICIES", "HIVE_STEAL_MODES"]
 
 VICTIM_POLICIES = ("two_choice", "random")
+
+HIVE_STEAL_MODES = ("vector", "scalar")
 
 
 @dataclass(frozen=True)
@@ -100,6 +102,15 @@ class DiggerBeesConfig:
         victim (seeded by ``seed``) instead of the deterministic
         max-depth victim, widening the set of steal interleavings the
         fuzzer can reach.  Off in production runs.
+    hive_steal:
+        Steal-protocol execution tier of the hive batch engine
+        (:mod:`repro.core.hive`): ``"vector"`` (default) runs refills,
+        two-phase steal reservations and inter-block leader work as
+        batched NumPy passes over the shared slabs; ``"scalar"`` keeps
+        the original per-lane ``step()`` bailout.  Both are
+        bit-identical — the scalar mode is retained as the differential
+        oracle for the vectorized protocol (``repro.check``'s
+        hive-steal-diff rung).  Ignored outside the hive engine.
     """
 
     n_blocks: int = 4
@@ -125,6 +136,7 @@ class DiggerBeesConfig:
     perturb_seed: Optional[int] = None
     jitter: int = 0
     adversarial_victims: bool = False
+    hive_steal: str = "vector"
 
     def __post_init__(self) -> None:
         if self.n_blocks < 1:
@@ -176,6 +188,11 @@ class DiggerBeesConfig:
             raise SimulationError(
                 f"cold_reserve ({self.cold_reserve}) must be >= cold_cutoff "
                 f"({self.cold_cutoff})"
+            )
+        if self.hive_steal not in HIVE_STEAL_MODES:
+            raise SimulationError(
+                f"hive_steal must be one of {HIVE_STEAL_MODES}, "
+                f"got {self.hive_steal!r}"
             )
         if self.jitter < 0:
             raise SimulationError(f"jitter must be >= 0, got {self.jitter}")

@@ -30,17 +30,50 @@ it.  Per engine tick:
 3. **Classification** — gathered hot/cold pointers and phase flags
    split the selected events into *vector expand* (the ~80% case:
    non-empty HotRing, RUN phase), *vector poll* (pure idle backoff),
-   and *fallback* (refills, steal selection, two-phase reservations —
-   everything protocol-shaped).
+   and the protocol families: refills, steal selection, and two-phase
+   reservations.
 4. **Vector execution** — expands run as grouped gathers/scatters over
    the batch axis (window scan via one ``(k, W)`` visited gather, with
    ``W`` capped at the tick's widest remaining window); polls update
-   masks/backoffs in bulk.  Fallback events run the agent's generic
-   ``step()`` exactly like turbo's fallback, so the steal protocol
-   code — and any ``repro.check`` mutation patched into it — executes
-   unchanged.
+   masks/backoffs in bulk.  With ``config.hive_steal="vector"`` (the
+   default) the protocol families run as three more batched passes —
+   see *Vectorized steal protocol* below.  With ``"scalar"`` (the
+   differential oracle) they run the agent's generic ``step()``
+   exactly like turbo's fallback.
 5. **Reschedule** — every selected agent is rescheduled at
    ``now + cost`` with the run's next sequence number.
+
+Vectorized steal protocol
+-------------------------
+Lanes (batch rows) are independent runs, so cross-lane conflicts are
+impossible and each protocol family groups into plain array passes:
+
+* **Refills** — masked cold-to-hot transfers: counts/costs/debt in
+  bulk, entries moved as at most two ring slices per lane straight
+  from the ColdSeg's ``view_top`` into the HotRing slab, pointers
+  advanced through the shared pointer slabs.
+* **Steal selection** — the idle-entry mask clear and the victim scans
+  run batched: intra lanes gather their block's HotRing pointer pairs
+  as one ``(lanes, wpb)`` matrix (``select_victims_batch``), inter
+  leader lanes replay block choice per lane (its Lemire RNG stream
+  consumption is data-dependent; ``victim_policy="random"`` draws
+  group through ``draw_bounded_many``) and scan the chosen block's
+  ColdSeg pointers batched (``select_victim_warps_batch``).  A found
+  plan parks kind/victim/token/remote in the run's steal slabs — the
+  same two-phase observe-then-CAS split as the scalar agent.
+* **Reservations** — one tick later the observed token is validated
+  against the live pointer slab (the batched CAS); winners transfer
+  level-sliced entries (intra: one masked flat gather/scatter across
+  all winning lanes; inter: two ring slices per lane from
+  ``view_bottom``), losers pay ``steal_fail`` and retry selection
+  next tick, exactly the scalar conflict-resolution rule.
+
+The passes replicate the scalar agent's costs, counters, RNG streams,
+and pointer motion bit-for-bit; ``repro.check``'s hive-steal-diff rung
+asserts it per run.  Any patched protocol function (the mutation
+suite), attached monitor, or adversarial fuzz RNG routes the protocol
+families back through the scalar fallback for the whole drain, so
+instrumented semantics are preserved.
 
 Bit-exactness contract
 ----------------------
@@ -66,16 +99,19 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import inter_steal, intra_steal
 from repro.core.config import DiggerBeesConfig
 from repro.core.diggerbees import DiggerBeesResult, package_result
 from repro.core.state import BatchSlabs, RunState
 from repro.core.turbo import _ORIG_CLAIM
+from repro.core.twolevel_stack import ColdSeg, HotRing, WarpStack
 from repro.core.warp_dfs import WarpAgent, _Phase
 from repro.errors import SimulationError
 from repro.graphs.csr import CSRGraph
 from repro.sim.device import DeviceSpec, H100
 from repro.sim.engine import (EngineResult, deadlocked_error,
                               non_positive_cost_error, over_budget_error)
+from repro.utils.fastrand import draw_bounded_many
 
 __all__ = ["hive_eligible", "hive_compatible", "run_hive"]
 
@@ -83,6 +119,38 @@ __all__ = ["hive_eligible", "hive_compatible", "run_hive"]
 _FAR = np.int64(2 ** 62)
 
 _AR32 = np.arange(32, dtype=np.int64)  # WARP_WIDTH scan window
+
+# Originals of every function/method the vectorized protocol passes
+# bypass, captured at import.  The mutation suite (repro.check) patches
+# these module/class attributes; a per-drain identity probe routes the
+# protocol families back through the scalar fallback whenever any
+# differs, so every seeded mutation still executes and gets caught.
+_ORIG_INTRA_SELECT = intra_steal.select_victim
+_ORIG_INTRA_EXEC = intra_steal.execute_steal
+_ORIG_INTER_SELECT = inter_steal.select_victim
+_ORIG_INTER_BLOCK = inter_steal.select_victim_block
+_ORIG_INTER_EXEC = inter_steal.execute_steal
+_ORIG_REFILL = WarpStack.refill
+_ORIG_POP_BATCH = ColdSeg.pop_batch
+_ORIG_PUSH_BATCH = ColdSeg.push_batch
+_ORIG_STEAL_BOTTOM = ColdSeg.steal_from_bottom
+_ORIG_TAKE_TAIL = HotRing.take_from_tail
+_ORIG_PUT_BATCH = HotRing.put_batch
+
+
+def _protocol_patched() -> bool:
+    """True when any steal/refill-protocol code has been monkeypatched."""
+    return (intra_steal.select_victim is not _ORIG_INTRA_SELECT
+            or intra_steal.execute_steal is not _ORIG_INTRA_EXEC
+            or inter_steal.select_victim is not _ORIG_INTER_SELECT
+            or inter_steal.select_victim_block is not _ORIG_INTER_BLOCK
+            or inter_steal.execute_steal is not _ORIG_INTER_EXEC
+            or WarpStack.refill is not _ORIG_REFILL
+            or ColdSeg.pop_batch is not _ORIG_POP_BATCH
+            or ColdSeg.push_batch is not _ORIG_PUSH_BATCH
+            or ColdSeg.steal_from_bottom is not _ORIG_STEAL_BOTTOM
+            or HotRing.take_from_tail is not _ORIG_TAKE_TAIL
+            or HotRing.put_batch is not _ORIG_PUT_BATCH)
 
 
 def hive_eligible(config: DiggerBeesConfig) -> bool:
@@ -113,6 +181,7 @@ def run_hive(
     *,
     device: DeviceSpec = H100,
     batch: Optional[int] = None,
+    stats: Optional[dict] = None,
 ) -> List[DiggerBeesResult]:
     """Run ``tasks`` = ``[(root, config), ...]`` on ``graph``, batched.
 
@@ -122,11 +191,24 @@ def run_hive(
     batch.  Results come back in task order and are bit-identical to
     ``run_diggerbees`` / turbo per task.
 
+    ``stats``, when given a dict, receives execution-path accounting
+    summed over all batches: ``events_total``, ``events_fallback``
+    (events routed through the scalar per-agent step), the vectorized
+    protocol pass totals (``vector_refills``, ``vector_steal_selects``,
+    ``vector_reserves_intra``, ``vector_reserves_inter``), and the
+    derived ``fallback_lane_fraction``.  Under ``hive_steal="vector"``
+    on an unpatched run the fallback fraction is 0.0; the micro-bench
+    records it per case so a silent fallback regression is visible.
+
     Failure semantics: any run raising (over-budget, deadlock,
     non-positive cost) aborts its whole batch with the exact exception
     the scalar engines would raise for that run.
     """
     if not tasks:
+        if stats is not None:
+            stats.setdefault("events_total", 0)
+            stats.setdefault("events_fallback", 0)
+            stats.setdefault("fallback_lane_fraction", 0.0)
         return []
     base = tasks[0][1]
     for root, config in tasks:
@@ -144,11 +226,15 @@ def run_hive(
     width = len(tasks) if batch is None else max(1, int(batch))
     results: List[DiggerBeesResult] = []
     for lo in range(0, len(tasks), width):
-        results.extend(_run_batch(graph, tasks[lo:lo + width], device))
+        results.extend(_run_batch(graph, tasks[lo:lo + width], device, stats))
+    if stats is not None:
+        total = stats.get("events_total", 0)
+        stats["fallback_lane_fraction"] = (
+            stats.get("events_fallback", 0) / total if total else 0.0)
     return results
 
 
-def _run_batch(graph, tasks, device) -> List[DiggerBeesResult]:
+def _run_batch(graph, tasks, device, stats=None) -> List[DiggerBeesResult]:
     config = tasks[0][1]
     slabs = BatchSlabs(len(tasks), config, graph.n_vertices)
     states: List[RunState] = []
@@ -167,7 +253,7 @@ def _run_batch(graph, tasks, device) -> List[DiggerBeesResult]:
     if gc_was_enabled:
         gc.disable()
     try:
-        engines = _drain_batch(slabs, states, agents)
+        engines = _drain_batch(slabs, states, agents, stats)
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -175,7 +261,8 @@ def _run_batch(graph, tasks, device) -> List[DiggerBeesResult]:
 
 
 def _drain_batch(slabs: BatchSlabs, states: List[RunState],
-                 agents: List[List[WarpAgent]]) -> List[EngineResult]:
+                 agents: List[List[WarpAgent]],
+                 stats=None) -> List[EngineResult]:
     B = slabs.batch
     config = states[0].config
     costs = states[0].costs
@@ -198,6 +285,47 @@ def _drain_batch(slabs: BatchSlabs, states: List[RunState],
     c_idle = costs.idle_poll
     backoff_max = costs.idle_backoff_max
 
+    # Steal/refill protocol constants (see warp_dfs._idle/_reserve_*).
+    c_refill_base = costs.refill_base
+    c_refill_entry = costs.refill_per_entry
+    c_steal_fail = costs.steal_fail
+    c_intra_base = costs.steal_intra_base
+    c_intra_entry = costs.steal_intra_per_entry
+    c_inter_base = costs.steal_inter_base
+    c_inter_entry = costs.steal_inter_per_entry
+    c_remote_base = costs.steal_remote_base
+    c_remote_entry = costs.steal_remote_per_entry
+    debt_intra = costs.victim_debt_intra
+    debt_inter = costs.victim_debt_inter
+    debt_remote = costs.victim_debt_remote
+    extra_intra = costs.steal_scan_per_warp * wpb
+    extra_inter = costs.steal_scan_per_warp * wpb + 40
+    refill_batch = config.refill_batch
+    hot_cutoff = config.hot_cutoff
+    cold_cutoff = config.cold_cutoff
+    intra_amount = config.intra_steal_amount
+    inter_amount = config.inter_steal_amount
+    random_policy = config.victim_policy == "random"
+    bpg = config.blocks_per_gpu
+
+    # Per-drain probes (hoisted out of the tick loop: patches are
+    # installed before run_hive, never mid-drain).  A patched claim
+    # routes expands through the generic step; any patched protocol
+    # function, attached monitor, or fuzz RNG disables the vectorized
+    # protocol so the instrumented scalar code executes instead.  The
+    # amount gates exclude degenerate configs whose steal transfer
+    # could not fit an empty HotRing (the scalar path would raise
+    # StackOverflowError; keep that behaviour byte-for-byte).
+    claims_patched = type(states[0]).try_claim_vertex is not _ORIG_CLAIM
+    vector_protocol = (
+        config.hive_steal == "vector"
+        and states[0].monitor is None
+        and states[0].fuzz_rng is None
+        and not _protocol_patched()
+        and (not intra or intra_amount <= H - 1)
+        and (not inter_ok or inter_amount <= H - 1)
+    )
+
     graph = states[0].graph
     rp = np.ascontiguousarray(graph.row_ptr, dtype=np.int64)
     ci = np.ascontiguousarray(graph.column_idx, dtype=np.int64)
@@ -213,7 +341,14 @@ def _drain_batch(slabs: BatchSlabs, states: List[RunState],
     DBf = slabs.debt.reshape(-1)
     VISf = slabs.visited.reshape(-1)
     PARf = slabs.parent.reshape(-1)
+    SKf = slabs.steal_kind.reshape(-1)
+    SVf = slabs.steal_victim.reshape(-1)
+    STf = slabs.steal_token.reshape(-1)
+    SRf = slabs.steal_remote.reshape(-1)
     n_vertices = slabs.visited.shape[1]
+    # Pointer-pair column offsets of one block's warps (vector scans).
+    off2 = 2 * np.arange(wpb, dtype=np.int64)
+    _ARI = np.arange(intra_amount, dtype=np.int64)
 
     # Engine arrays are *slot*-indexed: the active runs always occupy
     # the prefix [0, nact).  ``rows`` maps slot -> slab row (rows are
@@ -243,6 +378,20 @@ def _drain_batch(slabs: BatchSlabs, states: List[RunState],
     d_claims = np.zeros(B, dtype=np.int64)
     d_pops = np.zeros(B, dtype=np.int64)
     d_polls = np.zeros(B, dtype=np.int64)
+    # Protocol-event deltas (vector passes only; zero under the scalar
+    # fallback, whose step() writes SimCounters directly).
+    d_refills = np.zeros(B, dtype=np.int64)
+    d_refill_entries = np.zeros(B, dtype=np.int64)
+    d_intra_att = np.zeros(B, dtype=np.int64)
+    d_intra_succ = np.zeros(B, dtype=np.int64)
+    d_intra_ent = np.zeros(B, dtype=np.int64)
+    d_inter_att = np.zeros(B, dtype=np.int64)
+    d_inter_succ = np.zeros(B, dtype=np.int64)
+    d_inter_ent = np.zeros(B, dtype=np.int64)
+    d_remote_succ = np.zeros(B, dtype=np.int64)
+    d_remote_ent = np.zeros(B, dtype=np.int64)
+    d_cas_att = np.zeros(B, dtype=np.int64)
+    d_cas_fail = np.zeros(B, dtype=np.int64)
     mx_hot = np.zeros(B, dtype=np.int64)
     mx_cold = np.zeros(B, dtype=np.int64)
     tpb2 = np.zeros((B, n_blocks), dtype=np.int64)
@@ -257,11 +406,23 @@ def _drain_batch(slabs: BatchSlabs, states: List[RunState],
 
     eng_arrays = (times, seqs, seq_ctr, now, stale, pend, backoff,
                   phase_run, rows, rowsA, rows2A, rowsNB, rowsNV,
-                  d_edges, d_claims, d_pops, d_polls, mx_hot, mx_cold,
-                  tpb2, tpw2)
+                  d_edges, d_claims, d_pops, d_polls,
+                  d_refills, d_refill_entries,
+                  d_intra_att, d_intra_succ, d_intra_ent,
+                  d_inter_att, d_inter_succ, d_inter_ent,
+                  d_remote_succ, d_remote_ent, d_cas_att, d_cas_fail,
+                  mx_hot, mx_cold, tpb2, tpw2)
 
     results: List[Optional[EngineResult]] = [None] * B
     RUN = _Phase.RUN
+
+    # Execution-path accounting for run_hive's ``stats`` payload.
+    ev_total = 0
+    ev_fb = 0
+    ev_rf = 0
+    ev_sel = 0
+    ev_ri = 0
+    ev_rl = 0
 
     def finalize(slot: int) -> None:
         row = int(rows[slot])
@@ -269,11 +430,22 @@ def _drain_batch(slabs: BatchSlabs, states: List[RunState],
         c = st.counters
         claims = int(d_claims[slot])
         c.edges_traversed += int(d_edges[slot])
-        c.cas_attempts += claims
+        c.cas_attempts += claims + int(d_cas_att[slot])
+        c.cas_failures += int(d_cas_fail[slot])
         c.pops += int(d_pops[slot])
         c.pushes += claims
         c.vertices_visited += claims
         c.idle_polls += int(d_polls[slot])
+        c.refills += int(d_refills[slot])
+        c.refill_entries += int(d_refill_entries[slot])
+        c.intra_steal_attempts += int(d_intra_att[slot])
+        c.intra_steal_successes += int(d_intra_succ[slot])
+        c.intra_steal_entries += int(d_intra_ent[slot])
+        c.inter_steal_attempts += int(d_inter_att[slot])
+        c.inter_steal_successes += int(d_inter_succ[slot])
+        c.inter_steal_entries += int(d_inter_ent[slot])
+        c.remote_steal_successes += int(d_remote_succ[slot])
+        c.remote_steal_entries += int(d_remote_ent[slot])
         if int(mx_hot[slot]) > c.max_hot_depth:
             c.max_hot_depth = int(mx_hot[slot])
         if int(mx_cold[slot]) > c.max_cold_depth:
@@ -361,11 +533,16 @@ def _drain_batch(slabs: BatchSlabs, states: List[RunState],
         else:
             steal_m = np.zeros(na, dtype=bool)
         poll_m = pure_idle ^ steal_m        # steal_m is a pure_idle subset
-        fallback_m = ~run_m | refill_m | steal_m
+        if vector_protocol:
+            # Refills, steal selects, and reservations (~run_m) all run
+            # as the batched passes below: nothing protocol-shaped left.
+            fallback_m = np.zeros(na, dtype=bool)
+        else:
+            fallback_m = ~run_m | refill_m | steal_m
         # A patched claim (repro.check mutations) must see every claim:
         # route all expands through the generic step, like turbo.
-        if type(states[0]).try_claim_vertex is not _ORIG_CLAIM:
-            fallback_m |= expand_m
+        if claims_patched:
+            fallback_m = fallback_m | expand_m
             expand_m = np.zeros(na, dtype=bool)
 
         # Every selected event lands in exactly one of expand/poll/
@@ -503,8 +680,256 @@ def _drain_batch(slabs: BatchSlabs, states: List[RunState],
             cost[p] = cp
             progress[p] = False
 
+        if vector_protocol:
+            # ---- vector refill (cold -> hot, mirrors step()'s branch) -
+            rf = refill_m.nonzero()[0]
+            if rf.size:
+                ev_rf += rf.size
+                # Entering a work step: set mask bit, reset backoff,
+                # pay contention debt accrued from steals against us.
+                AMf[ami[rf]] = am[rf] | bit[rf]
+                bflat[idxA[rf]] = c_idle
+                sdr = sidxA[rf]
+                debt = DBf[sdr]
+                DBf[sdr] = 0
+                # Hot is empty here and refill_batch < hot_size, so the
+                # scalar min(..., free_slots) term never binds.
+                cnt = np.minimum(refill_batch, ctop[rf] - cbot[rf])
+                d_refills[rf] += 1
+                d_refill_entries[rf] += cnt
+                cost[rf] = debt + c_refill_base + c_refill_entry * cnt
+                for j, s in enumerate(rf):
+                    s = int(s)
+                    n = int(cnt[j])
+                    cold = agents[int(rows[s])][int(sel[s])].stack.cold
+                    cv, co = cold.view_top(n)
+                    e0 = int(sidxA[s]) * H
+                    hd = int(head[s])
+                    end = hd + n
+                    if end <= H:
+                        HVf[e0 + hd:e0 + end] = cv
+                        HOf[e0 + hd:e0 + end] = co
+                    else:
+                        k2 = H - hd
+                        HVf[e0 + hd:e0 + H] = cv[:k2]
+                        HOf[e0 + hd:e0 + H] = co[:k2]
+                        HVf[e0:e0 + end - H] = cv[k2:]
+                        HOf[e0:e0 + end - H] = co[k2:]
+                nh = head[rf] + cnt
+                np.subtract(nh, H, out=nh, where=nh >= H)
+                HPf[hbase[rf]] = nh
+                CPf[hbase[rf]] = ctop[rf] - cnt
+
+            # ---- vector steal select (two-phase step 1: observe) ------
+            stl = steal_m.nonzero()[0]
+            if stl.size:
+                ev_sel += stl.size
+                AMf[ami[stl]] = others[stl]  # clear own bit (idle entry)
+                if intra:
+                    intra_l = others[stl] != 0
+                    si = stl[intra_l]
+                    li = stl[~intra_l]
+                else:
+                    si = stl[:0]
+                    li = stl
+                if si.size:
+                    pidx = (rows2A[si] + 2 * wpb * bid[si])[:, None] + off2
+                    victim, token, _, ok = intra_steal.select_victims_batch(
+                        HPf[pidx], HPf[pidx + 1], H, wid[si], hot_cutoff)
+                    hit = si[ok]
+                    if hit.size:
+                        sd = sidxA[hit]
+                        SKf[sd] = 1
+                        SVf[sd] = bid[hit] * wpb + victim[ok]
+                        STf[sd] = token[ok]
+                        pflat[idxA[hit]] = False
+                        cost[hit] = extra_intra
+                    miss = si[~ok]
+                    if miss.size:  # no peer above cutoff: poll + scan cost
+                        d_polls[miss] += 1
+                        bi = idxA[miss]
+                        cp = bflat[bi]
+                        bflat[bi] = np.minimum(cp * 2, backoff_max)
+                        cost[miss] = extra_intra + cp
+                        progress[miss] = False
+                if li.size:
+                    vbs = np.full(li.size, -1, dtype=np.int64)
+                    rem = np.zeros(li.size, dtype=bool)
+                    if random_policy:
+                        # Single uniform draw per leader: groupable.
+                        if bpg >= 2:
+                            gens = [agents[int(rows[s])][int(sel[s])].rng
+                                    for s in li]
+                            draws = ((bid[li] // bpg) * bpg
+                                     + draw_bounded_many(gens, 0, bpg))
+                            vbs = np.where(draws == bid[li], -1, draws)
+                    else:
+                        # two_choice consumes a data-dependent number of
+                        # draws (bounded-retry sampling): replay the
+                        # scalar block choice per lane, on the lane's
+                        # own RNG stream.
+                        for j, s in enumerate(li):
+                            s = int(s)
+                            row = int(rows[s])
+                            chosen = inter_steal.select_victim_block(
+                                states[row], int(bid[s]),
+                                agents[row][int(sel[s])].rng)
+                            if chosen is not None:
+                                vbs[j] = chosen[0]
+                                rem[j] = chosen[1]
+                    have = vbs >= 0
+                    planned = np.zeros(li.size, dtype=bool)
+                    hl = li[have]
+                    if hl.size:
+                        cidx = ((rows2A[hl] + 2 * wpb * vbs[have])[:, None]
+                                + off2)
+                        vw, token, ok = inter_steal.select_victim_warps_batch(
+                            CPf[cidx], CPf[cidx + 1], cold_cutoff)
+                        hit = hl[ok]
+                        if hit.size:
+                            sd = sidxA[hit]
+                            SKf[sd] = 2
+                            SVf[sd] = vbs[have][ok] * wpb + vw[ok]
+                            STf[sd] = token[ok]
+                            SRf[sd] = rem[have][ok]
+                            pflat[idxA[hit]] = False
+                            cost[hit] = extra_inter
+                        planned[have.nonzero()[0][ok]] = True
+                    miss = li[~planned]
+                    if miss.size:
+                        d_polls[miss] += 1
+                        bi = idxA[miss]
+                        cp = bflat[bi]
+                        bflat[bi] = np.minimum(cp * 2, backoff_max)
+                        cost[miss] = extra_inter + cp
+                        progress[miss] = False
+
+            # ---- vector reservations (two-phase step 2: CAS) ----------
+            if not run_m.all():
+                rv = (~run_m).nonzero()[0]
+                sd_rv = sidxA[rv]
+                kinds = SKf[sd_rv]
+                SKf[sd_rv] = 0
+                pflat[idxA[rv]] = True  # phase -> RUN, win or lose
+                vg = SVf[sd_rv]
+                ik = (kinds == 1).nonzero()[0]
+                if ik.size:
+                    ev_ri += ik.size
+                    ri = rv[ik]
+                    vgi = vg[ik]
+                    d_intra_att[ri] += 1
+                    vb2 = rows2A[ri] + 2 * vgi
+                    vhead = HPf[vb2]
+                    vtail = HPf[vb2 + 1]
+                    # The CAS: token still equal to the observed tail,
+                    # and the victim still at or above the cutoff.
+                    tok_ok = vtail == STf[sd_rv[ik]]
+                    vrest = vhead - vtail
+                    np.add(vrest, H, out=vrest, where=vrest < 0)
+                    d_cas_att[ri[tok_ok]] += 1
+                    succ = tok_ok & (vrest >= hot_cutoff)
+                    fl = (~succ).nonzero()[0]
+                    if fl.size:
+                        rl_f = ri[fl]
+                        d_cas_fail[rl_f] += 1
+                        cost[rl_f] = c_steal_fail
+                        progress[rl_f] = False
+                    sk = succ.nonzero()[0]
+                    if sk.size:
+                        rk = ri[sk]
+                        vgk = vgi[sk]
+                        amt = np.minimum(intra_amount, vrest[sk])
+                        # Grouped slot copies: thief rings are empty
+                        # (victim != thief, and a reserving warp cannot
+                        # gain entries), so src/dst never overlap.
+                        src = vtail[sk][:, None] + _ARI
+                        np.subtract(src, H, out=src, where=src >= H)
+                        dst = head[rk][:, None] + _ARI
+                        np.subtract(dst, H, out=dst, where=dst >= H)
+                        keep = _ARI < amt[:, None]
+                        sfl = (((rowsA[rk] + vgk) * H)[:, None] + src)[keep]
+                        dfl = ((sidxA[rk] * H)[:, None] + dst)[keep]
+                        HVf[dfl] = HVf[sfl]
+                        HOf[dfl] = HOf[sfl]
+                        nt = vtail[sk] + amt
+                        np.subtract(nt, H, out=nt, where=nt >= H)
+                        HPf[vb2[sk] + 1] = nt
+                        nh = head[rk] + amt
+                        np.subtract(nh, H, out=nh, where=nh >= H)
+                        HPf[hbase[rk]] = nh
+                        AMf[ami[rk]] = am[rk] | bit[rk]
+                        DBf[rowsA[rk] + vgk] += debt_intra
+                        d_intra_succ[rk] += 1
+                        d_intra_ent[rk] += amt
+                        bflat[idxA[rk]] = c_idle
+                        # Scalar cost uses the plan's constant amount,
+                        # not the clamped transfer size.
+                        cost[rk] = c_intra_base + c_intra_entry * intra_amount
+                il = (kinds == 2).nonzero()[0]
+                if il.size:
+                    ev_rl += il.size
+                    rl = rv[il]
+                    vgl = vg[il]
+                    d_inter_att[rl] += 1
+                    cb2 = rows2A[rl] + 2 * vgl
+                    vtop = CPf[cb2]
+                    vbot = CPf[cb2 + 1]
+                    tok_ok = vbot == STf[sd_rv[il]]
+                    clen = vtop - vbot
+                    d_cas_att[rl[tok_ok]] += 1
+                    succ = tok_ok & (clen >= cold_cutoff)
+                    fl = (~succ).nonzero()[0]
+                    if fl.size:
+                        rl_f = rl[fl]
+                        d_cas_fail[rl_f] += 1
+                        cost[rl_f] = c_steal_fail
+                        progress[rl_f] = False
+                    sk = succ.nonzero()[0]
+                    if sk.size:
+                        rk = rl[sk]
+                        vgk = vgl[sk]
+                        amt = np.minimum(inter_amount, clen[sk])
+                        rm = SRf[sd_rv[il][sk]]
+                        for j, s in enumerate(rk):
+                            s = int(s)
+                            n = int(amt[j])
+                            cold = agents[int(rows[s])][int(vgk[j])].stack.cold
+                            cv, co = cold.view_bottom(n)
+                            e0 = int(sidxA[s]) * H
+                            hd = int(head[s])
+                            end = hd + n
+                            if end <= H:
+                                HVf[e0 + hd:e0 + end] = cv
+                                HOf[e0 + hd:e0 + end] = co
+                            else:
+                                k2 = H - hd
+                                HVf[e0 + hd:e0 + H] = cv[:k2]
+                                HOf[e0 + hd:e0 + H] = co[:k2]
+                                HVf[e0:e0 + end - H] = cv[k2:]
+                                HOf[e0:e0 + end - H] = co[k2:]
+                        CPf[cb2[sk] + 1] = vbot[sk] + amt
+                        nh = head[rk] + amt
+                        np.subtract(nh, H, out=nh, where=nh >= H)
+                        HPf[hbase[rk]] = nh
+                        AMf[ami[rk]] = am[rk] | bit[rk]
+                        DBf[rowsA[rk] + vgk] += np.where(
+                            rm, debt_remote, debt_inter)
+                        d_inter_succ[rk] += 1
+                        d_inter_ent[rk] += amt
+                        rr = rk[rm]
+                        if rr.size:
+                            d_remote_succ[rr] += 1
+                            d_remote_ent[rr] += amt[rm]
+                        bflat[idxA[rk]] = c_idle
+                        cost[rk] = np.where(
+                            rm,
+                            c_remote_base + c_remote_entry * inter_amount,
+                            c_inter_base + c_inter_entry * inter_amount)
+
         # ---- fallback: generic per-run step (protocol paths) ----------
+        ev_total += na
         fb = fallback_m.nonzero()[0]
+        ev_fb += fb.size
         for slot in fb:
             slot = int(slot)
             row = int(rows[slot])
@@ -545,4 +970,14 @@ def _drain_batch(slabs: BatchSlabs, states: List[RunState],
         raise SimulationError(
             f"hive drain ended with unfinished runs {missing}"
         )
+    if stats is not None:
+        stats["events_total"] = stats.get("events_total", 0) + ev_total
+        stats["events_fallback"] = stats.get("events_fallback", 0) + ev_fb
+        stats["vector_refills"] = stats.get("vector_refills", 0) + ev_rf
+        stats["vector_steal_selects"] = (
+            stats.get("vector_steal_selects", 0) + ev_sel)
+        stats["vector_reserves_intra"] = (
+            stats.get("vector_reserves_intra", 0) + ev_ri)
+        stats["vector_reserves_inter"] = (
+            stats.get("vector_reserves_inter", 0) + ev_rl)
     return results  # ordered by slab row == task order

@@ -28,7 +28,8 @@ import numpy as np
 from repro.core.state import RunState
 from repro.core.twolevel_stack import WarpStack
 
-__all__ = ["InterStealPlan", "select_victim", "execute_steal"]
+__all__ = ["InterStealPlan", "select_victim", "select_victim_block",
+           "select_victim_warps_batch", "execute_steal"]
 
 
 @dataclass(frozen=True)
@@ -80,22 +81,21 @@ def _sample_active_blocks(state: RunState, my_block: int,
     return found
 
 
-def select_victim(state: RunState, my_block: int,
-                  rng) -> Optional[InterStealPlan]:
-    """Steps 1-2 of Algorithm 4: pick a victim block, then its fullest warp.
+def select_victim_block(state: RunState, my_block: int, rng):
+    """Step 1 of Algorithm 4 alone: pick a victim *block* (or None).
 
-    ``rng`` is the leader's ``Generator`` or its bit-exact
-    :class:`repro.utils.fastrand.BoundedDraws` replica — only the
-    two-argument ``integers(lo, hi)`` surface is used.
-
-    Returns None when no active block was found or no warp in the chosen
-    block reaches ``cold_cutoff``.
+    Returns ``(victim_block, remote)`` or None.  Factored out of
+    :func:`select_victim` so the hive engine's batched leader pass can
+    replay the block choice — including its exact RNG stream
+    consumption, which is data-dependent through the bounded-retry
+    sampling loop and therefore cannot be grouped across lanes — while
+    vectorizing the per-warp cold-rest scan that follows
+    (:func:`select_victim_warps_batch`).
     """
     cfg = state.config
     my_gpu = state.blocks[my_block].gpu_id
-    policy = cfg.victim_policy
-    remote = False
-    if policy == "two_choice":
+    if cfg.victim_policy == "two_choice":
+        remote = False
         candidates = _sample_active_blocks(state, my_block, rng, 2,
                                            gpu_id=my_gpu)
         if not candidates and cfg.n_gpus > 1:
@@ -116,16 +116,54 @@ def select_victim(state: RunState, my_block: int,
             blocks = state.blocks
             vb = (b0 if blocks[b0].workload() >= blocks[b1].workload()
                   else b1)
-    else:
-        # "random": the Figure 9 baseline — a uniformly random block with
-        # no activity or load awareness, so probes frequently land on
-        # idle/empty blocks and work spreads slowly and unevenly.
-        if cfg.blocks_per_gpu < 2:
-            return None
-        lo = my_gpu * cfg.blocks_per_gpu
-        vb = lo + int(rng.integers(0, cfg.blocks_per_gpu))
-        if vb == my_block:
-            return None
+        return vb, remote
+    # "random": the Figure 9 baseline — a uniformly random block with
+    # no activity or load awareness, so probes frequently land on
+    # idle/empty blocks and work spreads slowly and unevenly.
+    if cfg.blocks_per_gpu < 2:
+        return None
+    lo = my_gpu * cfg.blocks_per_gpu
+    vb = lo + int(rng.integers(0, cfg.blocks_per_gpu))
+    if vb == my_block:
+        return None
+    return vb, False
+
+
+def select_victim_warps_batch(tops: np.ndarray, bottoms: np.ndarray,
+                              cutoff: int):
+    """Vectorized step 2 of Algorithm 4 across independent leader lanes.
+
+    ``tops``/``bottoms`` are ``(lanes, n_warps)`` gathers of each chosen
+    victim block's ColdSeg pointer pairs.  Per lane this replays the
+    scalar scan exactly: ``cold_rest = top - bottom`` per warp and a
+    strict ``>`` maximum, so ``argmax`` breaks ties on the first warp at
+    the maximum, like the scalar loop.  Returns ``(victim_warp, token,
+    ok)``; ``token`` is the observed bottom (the reservation CAS token)
+    and ``ok`` marks lanes whose best rest reaches ``cutoff``.
+    """
+    rest = tops - bottoms
+    lanes = np.arange(rest.shape[0])
+    victim = rest.argmax(axis=1)
+    best = rest[lanes, victim]
+    token = bottoms[lanes, victim]
+    return victim, token, best >= cutoff
+
+
+def select_victim(state: RunState, my_block: int,
+                  rng) -> Optional[InterStealPlan]:
+    """Steps 1-2 of Algorithm 4: pick a victim block, then its fullest warp.
+
+    ``rng`` is the leader's ``Generator`` or its bit-exact
+    :class:`repro.utils.fastrand.BoundedDraws` replica — only the
+    two-argument ``integers(lo, hi)`` surface is used.
+
+    Returns None when no active block was found or no warp in the chosen
+    block reaches ``cold_cutoff``.
+    """
+    chosen = select_victim_block(state, my_block, rng)
+    if chosen is None:
+        return None
+    vb, remote = chosen
 
     victim_block = state.blocks[vb]
     cutoff = state.config.cold_cutoff

@@ -20,10 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.core.state import BlockState, RunState
 from repro.core.twolevel_stack import WarpStack
 
-__all__ = ["IntraStealPlan", "select_victim", "execute_steal"]
+__all__ = ["IntraStealPlan", "select_victim", "select_victims_batch",
+           "execute_steal"]
 
 
 @dataclass(frozen=True)
@@ -106,6 +109,35 @@ def select_victim(state: RunState, block: BlockState,
         observed_rest=best_rest,
         amount=state.config.intra_steal_amount,
     )
+
+
+def select_victims_batch(heads: np.ndarray, tails: np.ndarray,
+                         hot_size: int, thief_warps: np.ndarray,
+                         cutoff: int):
+    """Vectorized step 1 of Algorithm 3 across independent thief lanes.
+
+    ``heads``/``tails`` are ``(lanes, n_warps)`` gathers of each thief's
+    block's HotRing pointer pairs and ``thief_warps`` each thief's own
+    warp index within its block.  Per lane this replays the scalar
+    :func:`select_victim` scan exactly: ``hot_rest = (head - tail +
+    hot_size) % hot_size`` per peer, the thief's own lane excluded, and
+    a strict ``>`` maximum so the *first* peer at the maximum wins —
+    ``argmax`` ties break identically.
+
+    Returns ``(victim_warp, token, rest, ok)`` arrays; ``token`` is the
+    observed tail (the reservation CAS token) and ``ok`` marks lanes
+    whose best rest reaches ``cutoff``.  Used by the hive engine's
+    batched selection pass; the scalar function remains the oracle (and
+    the mutation-suite patch point).
+    """
+    rest = heads - tails
+    np.add(rest, hot_size, out=rest, where=rest < 0)
+    lanes = np.arange(rest.shape[0])
+    rest[lanes, thief_warps] = -1
+    victim = rest.argmax(axis=1)
+    best = rest[lanes, victim]
+    token = tails[lanes, victim]
+    return victim, token, best, best >= cutoff
 
 
 def execute_steal(state: RunState, block: BlockState, thief_warp: int,

@@ -51,7 +51,9 @@ class BatchSlabs:
 
     __slots__ = ("batch", "n_agents", "hot_size", "n_blocks",
                  "hot_vertex", "hot_offset", "hot_ptr", "cold_ptr",
-                 "active_mask", "debt", "visited", "parent")
+                 "active_mask", "debt", "visited", "parent",
+                 "steal_kind", "steal_victim", "steal_token",
+                 "steal_remote")
 
     def __init__(self, batch: int, config: DiggerBeesConfig,
                  n_vertices: int):
@@ -79,6 +81,17 @@ class BatchSlabs:
         self.visited = np.zeros((batch, n_vertices), dtype=np.uint8)
         self.parent = np.full((batch, n_vertices), UNVISITED_PARENT,
                               dtype=np.int64)
+        # Vectorized steal-protocol slabs (``hive_steal="vector"``).
+        # Row-pinned like visited/parent: a pending reservation records
+        # the kind (0 = none, 1 = intra, 2 = inter), the *victim's* flat
+        # warp index, the observed CAS token (HotRing tail / ColdSeg
+        # bottom) and the remote flag; the hive's batched reservation
+        # pass validates the token against the live pointer slabs one
+        # tick later, exactly like the scalar two-phase protocol.
+        self.steal_kind = np.zeros((batch, n_agents), dtype=np.int8)
+        self.steal_victim = np.zeros((batch, n_agents), dtype=np.int64)
+        self.steal_token = np.zeros((batch, n_agents), dtype=np.int64)
+        self.steal_remote = np.zeros((batch, n_agents), dtype=bool)
 
 
 class BlockState:

@@ -394,6 +394,33 @@ class ColdSeg:
         ptrs[self._bi] = bottom + count
         return verts, offs
 
+    def view_top(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Read-only views of the ``count`` newest entries (refill source).
+
+        The hive engine's vectorized refill pass copies straight from
+        these views into the batched HotRing slab and advances ``top``
+        through the shared pointer slab itself, skipping the per-entry
+        copies of :meth:`pop_batch` (which stays the scalar path and the
+        mutation-suite patch point).  Callers must consume the views
+        before moving the pointers.
+        """
+        ptrs = self._ptrs
+        top = ptrs[self._ti]
+        lo = top - count
+        return self.vertex[lo:top], self.offset[lo:top]
+
+    def view_bottom(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Read-only views of the ``count`` oldest entries (steal source).
+
+        Inter-block counterpart of :meth:`view_top`, used by the hive
+        engine's batched reservation pass in place of
+        :meth:`steal_from_bottom`.  Callers must consume the views
+        before moving the pointers.
+        """
+        bottom = self._ptrs[self._bi]
+        return (self.vertex[bottom:bottom + count],
+                self.offset[bottom:bottom + count])
+
     def snapshot(self) -> List[Tuple[int, int]]:
         """Entries oldest-first (for tests)."""
         ptrs = self._ptrs

@@ -43,6 +43,7 @@ __all__ = [
     "random_geometric",
     "bubble_mesh",
     "preferential_attachment",
+    "skewed_tree",
     "small_world",
     "rmat",
     "web_copy_model",
@@ -114,6 +115,33 @@ def binary_tree(depth: int, name: str = "") -> CSRGraph:
     both = np.vstack([edges, edges[:, ::-1]]) if n > 1 else edges.reshape(0, 2)
     return from_edges(n, both, name=name or f"btree{depth}",
                       meta={"family": "tree", "group": "synthetic"})
+
+
+def skewed_tree(n_vertices: int, *, skew: float = 0.85,
+                seed: RngLike = None, name: str = "") -> CSRGraph:
+    """Deep skewed random tree: the steal-heavy regime.
+
+    Each vertex ``i`` attaches to ``i - 1`` with probability ``skew``
+    (extending one long spine) and to a uniform earlier vertex
+    otherwise (sprouting side branches off the spine).  High ``skew``
+    yields depth O(skew * n) with thin, unevenly sized subtrees hanging
+    off it: one warp ends up owning the spine while the rest go idle
+    and hammer the intra/inter steal protocols — the workload shape
+    where bailout frequency, not expand throughput, dominates.
+    """
+    _require(n_vertices >= 2, f"skewed_tree needs >= 2 vertices, got {n_vertices}")
+    _require(0.0 <= skew <= 1.0, f"skew must be in [0, 1], got {skew}")
+    rng = make_rng(seed)
+    child = np.arange(1, n_vertices, dtype=np.int64)
+    spine = rng.random(n_vertices - 1) < skew
+    # Uniform over [0, i) per child: floor(U * i) — vectorized randrange.
+    uniform = (rng.random(n_vertices - 1) * child).astype(np.int64)
+    parent = np.where(spine, child - 1, uniform)
+    edges = np.column_stack([parent, child])
+    both = np.vstack([edges, edges[:, ::-1]])
+    return from_edges(n_vertices, both, dedupe=True, drop_self_loops=True,
+                      name=name or f"skewtree{n_vertices}",
+                      meta={"family": "skewed_tree", "group": "synthetic"})
 
 
 # ---------------------------------------------------------------------------

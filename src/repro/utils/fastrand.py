@@ -29,7 +29,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-__all__ = ["BoundedDraws", "wrap_generator"]
+__all__ = ["BoundedDraws", "draw_bounded_many", "wrap_generator"]
 
 _U32_MASK = 0xFFFFFFFF
 
@@ -100,6 +100,21 @@ class BoundedDraws:
                 m = x * rng_excl
                 leftover = m & _U32_MASK
         return (m >> 32) + lo
+
+
+def draw_bounded_many(rngs, lo: int, hi: int) -> np.ndarray:
+    """One bounded draw from each generator in ``rngs``, as an int64 array.
+
+    The hive engine's batched leader sampling groups the
+    ``victim_policy="random"`` draws of many lanes into a single call:
+    each lane's generator (a :class:`BoundedDraws` replica or a plain
+    ``Generator``) draws exactly once from ``[lo, hi)``, consuming
+    exactly the stream the scalar path would — values *and* stream
+    position stay bit-identical per lane, whatever order the lanes are
+    grouped in, because every lane owns its own generator.
+    """
+    return np.fromiter((int(r.integers(lo, hi)) for r in rngs),
+                       dtype=np.int64, count=len(rngs))
 
 
 _REPLICA_OK: Optional[bool] = None

@@ -5,6 +5,7 @@ import pytest
 from repro.check.cases import FuzzCase, case_from_seed
 from repro.check.cli import build_parser, run_mutant
 from repro.check.differential import CheckFailure, check_case
+from repro.core import intra_steal
 
 
 def _eligible_case() -> FuzzCase:
@@ -17,6 +18,17 @@ def _eligible_case() -> FuzzCase:
     )
 
 
+def _vector_case() -> FuzzCase:
+    """Same geometry but honest victim choice, so the hive primary runs
+    the vectorized steal protocol and stage 5c compares it against the
+    ``hive_steal="scalar"`` oracle."""
+    return FuzzCase(
+        seed=0, family="preferential_attachment", n_vertices=200,
+        graph_seed=6, n_blocks=2, warps_per_block=2, hot_size=8,
+        hot_cutoff=2, cold_cutoff=2, flush_batch=2, refill_batch=2,
+    )
+
+
 def test_clean_case_passes_hive_ladder():
     assert check_case(_eligible_case(), hive=True) is None
 
@@ -25,6 +37,28 @@ def test_seeded_cases_pass_hive_ladder():
     for seed in range(3):
         case = case_from_seed(seed)
         assert check_case(case, hive=True) is None, seed
+
+
+def test_vector_steal_case_passes_hive_ladder():
+    """A case with real vector-protocol traffic clears both the hive
+    rung (5b, vector vs scalar engines) and the steal-mode rung (5c,
+    vector vs hive_steal="scalar")."""
+    assert check_case(_vector_case(), hive=True) is None
+
+
+def test_vector_steal_bug_caught_by_hive_ladder(monkeypatch):
+    """A bug injected into the *batched* victim selection — thieves
+    accept victims one entry below the cutoff — must surface through
+    the ladder's hive rungs, not be masked by the scalar oracles."""
+    orig = intra_steal.select_victims_batch
+
+    def too_eager(heads, tails, hot_size, thief_warps, cutoff):
+        return orig(heads, tails, hot_size, thief_warps, max(1, cutoff - 1))
+
+    monkeypatch.setattr(intra_steal, "select_victims_batch", too_eager)
+    failure = check_case(_vector_case(), hive=True)
+    assert failure is not None
+    assert failure.stage in ("hive-diff", "hive-steal-diff")
 
 
 def test_repro_command_carries_hive_flag():
