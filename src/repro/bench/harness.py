@@ -9,6 +9,7 @@ recorded as failed samples, exactly as the paper plots them.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -36,6 +37,8 @@ __all__ = [
     "run_method",
     "run_graph",
     "run_sweep",
+    "lease_pool",
+    "release_pool",
     "MethodSummary",
     "summarize_method",
     "geomean_speedup",
@@ -263,31 +266,92 @@ def _execute_unit(unit) -> List[PerfSample]:
 #: costs worker spawns plus interpreter warm-up; sweeps issue many
 #: fan-outs back to back, so the pool lives across calls and is resized
 #: only when ``jobs`` changes.  ``atexit`` tears it down.
-_POOL = None
-_POOL_JOBS = 0
+#:
+#: Concurrent users (sweep threads, the :mod:`repro.serve` daemon) lease
+#: the pool through :func:`lease_pool`/:func:`release_pool`.  A resize
+#: while leases are outstanding *retires* the current pool instead of
+#: shutting it down: already-submitted work keeps running on the old
+#: executor, which is reclaimed when its last lease is released.  The
+#: historical code shut the old pool down eagerly, so a resize racing an
+#: in-flight submit raised "cannot schedule new futures after shutdown"
+#: and dropped that fan-out on the floor
+#: (``tests/bench/test_harness_resize.py`` is the regression test).
 
 
-def _get_pool(jobs: int):
-    global _POOL, _POOL_JOBS
-    if _POOL is not None and _POOL_JOBS != jobs:
-        _POOL.shutdown(wait=True)
-        _POOL = None
-    if _POOL is None:
+class _PoolHandle:
+    """One leased ProcessPoolExecutor generation."""
+
+    __slots__ = ("executor", "jobs", "users", "retired")
+
+    def __init__(self, jobs: int):
         from concurrent.futures import ProcessPoolExecutor
 
-        _POOL = ProcessPoolExecutor(max_workers=jobs)
-        _POOL_JOBS = jobs
-        import atexit
+        self.executor = ProcessPoolExecutor(max_workers=jobs)
+        self.jobs = jobs
+        self.users = 0
+        self.retired = False
 
-        atexit.register(_shutdown_pool)
-    return _POOL
+
+_POOL_LOCK = threading.Lock()
+_HANDLE: Optional[_PoolHandle] = None
+_ATEXIT_REGISTERED = False
+
+
+def lease_pool(jobs: int) -> _PoolHandle:
+    """Borrow the persistent pool, (re)sized to ``jobs`` workers.
+
+    Returns a handle whose ``.executor`` stays submittable until the
+    matching :func:`release_pool` — even if another thread resizes the
+    pool in between.  Every lease must be released exactly once.
+    """
+    global _HANDLE, _ATEXIT_REGISTERED
+    with _POOL_LOCK:
+        if _HANDLE is not None and _HANDLE.jobs != jobs:
+            _retire_locked(_HANDLE)
+            _HANDLE = None
+        if _HANDLE is None:
+            _HANDLE = _PoolHandle(jobs)
+            if not _ATEXIT_REGISTERED:
+                import atexit
+
+                atexit.register(_shutdown_pool)
+                _ATEXIT_REGISTERED = True
+        _HANDLE.users += 1
+        return _HANDLE
+
+
+def release_pool(handle: _PoolHandle, *, broken: bool = False) -> None:
+    """Return a lease.  ``broken=True`` marks the executor unusable (a
+    killed worker poisons every later submit on the same executor), so
+    the next lease starts a fresh pool while other current holders
+    drain and release this one."""
+    global _HANDLE
+    with _POOL_LOCK:
+        handle.users -= 1
+        if broken:
+            handle.retired = True
+            if _HANDLE is handle:
+                _HANDLE = None
+        if handle.retired and handle.users <= 0:
+            # Last holder reclaims the retired generation.  Pending
+            # futures of a healthy retirement still run to completion
+            # (no cancel); a broken pool cancels what it can.
+            handle.executor.shutdown(wait=False, cancel_futures=broken)
+
+
+def _retire_locked(handle: _PoolHandle) -> None:
+    handle.retired = True
+    if handle.users <= 0:
+        handle.executor.shutdown(wait=False)
 
 
 def _shutdown_pool() -> None:
-    global _POOL
-    if _POOL is not None:
-        _POOL.shutdown(wait=False, cancel_futures=True)
-        _POOL = None
+    global _HANDLE
+    with _POOL_LOCK:
+        if _HANDLE is not None:
+            _HANDLE.retired = True
+            _HANDLE.executor.shutdown(wait=False, cancel_futures=True)
+            _HANDLE = None
 
 
 def _fan_out(tasks: List[tuple], jobs: int, batch: int = 1,
@@ -340,14 +404,16 @@ def _fan_out(tasks: List[tuple], jobs: int, batch: int = 1,
                 handle.close()
             exported = {}
             wire_tasks = tasks
-        pool = _get_pool(jobs)
+        handle = lease_pool(jobs)
         try:
-            return list(pool.map(_execute_task, wire_tasks))
+            out = list(handle.executor.map(_execute_task, wire_tasks))
         except Exception:
             # A broken pool (killed worker) poisons every later map on
-            # the same executor — drop it so the next call starts clean.
-            _shutdown_pool()
+            # the same executor — drop it so the next lease starts clean.
+            release_pool(handle, broken=True)
             raise
+        release_pool(handle)
+        return out
     finally:
         # Unlink after the batch: attached workers keep their (cached)
         # mappings; the names disappear so nothing leaks.
@@ -427,12 +493,14 @@ def _fan_out_batched(tasks: List[tuple], jobs: int, batch: int,
                     handle.close()
                 exported = {}
                 wire_units = units
-            pool = _get_pool(jobs)
+            handle = lease_pool(jobs)
             try:
-                unit_results = list(pool.map(_execute_unit, wire_units))
+                unit_results = list(handle.executor.map(_execute_unit,
+                                                        wire_units))
             except Exception:
-                _shutdown_pool()
+                release_pool(handle, broken=True)
                 raise
+            release_pool(handle)
         finally:
             for handle in exported.values():
                 handle.close()

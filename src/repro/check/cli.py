@@ -61,7 +61,7 @@ def cmd_fuzz(args) -> int:
             break
         case = case_from_seed(seed, stress=args.stress)
         failure = check_case(case, stress=args.stress, turbo=args.turbo,
-                             hive=args.hive)
+                             hive=args.hive, serve=args.serve)
         ran += 1
         if failure is not None:
             _echo(failure.report())
@@ -94,7 +94,7 @@ def cmd_repro(args) -> int:
         return 2
     _echo(f"case: {case.describe()}")
     failure = check_case(case, mutation=args.mutation, stress=args.stress,
-                         turbo=args.turbo, hive=args.hive)
+                         turbo=args.turbo, hive=args.hive, serve=args.serve)
     if failure is None:
         _echo("PASS: all oracle stages agree")
         return 0
@@ -109,7 +109,8 @@ def cmd_repro(args) -> int:
 def run_mutant(name: str, *, budget: int = MUTANT_CASE_BUDGET,
                start_seed: int = 0,
                turbo: bool = False,
-               hive: bool = False) -> Optional[CheckFailure]:
+               hive: bool = False,
+               serve: bool = False) -> Optional[CheckFailure]:
     """Fuzz one mutation with stress cases; return its first detection.
 
     ``turbo=True`` runs the primary pass under the fused turbo loop;
@@ -124,7 +125,7 @@ def run_mutant(name: str, *, budget: int = MUTANT_CASE_BUDGET,
         if turbo or hive:
             case = case.with_(perturb_seed=None, jitter=0)
         failure = check_case(case, mutation=name, stress=True, turbo=turbo,
-                             hive=hive)
+                             hive=hive, serve=serve)
         if failure is not None:
             return failure
     return None
@@ -140,7 +141,7 @@ def cmd_mutants(args) -> int:
             return 2
         t0 = time.monotonic()
         failure = run_mutant(name, budget=args.budget, turbo=args.turbo,
-                             hive=args.hive)
+                             hive=args.hive, serve=args.serve)
         dt = time.monotonic() - t0
         if failure is None:
             missed.append(name)
@@ -185,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--hive", action="store_true",
                       help="add the batched-lockstep (hive) differential "
                            "rung on eligible cases")
+    fuzz.add_argument("--serve", action="store_true",
+                      help="add the serve differential rung: every "
+                           "case's DFS is also run through a live "
+                           "repro.serve daemon and must match exactly")
     fuzz.add_argument("--verbose", action="store_true")
     fuzz.set_defaults(func=cmd_fuzz)
 
@@ -198,6 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
     repro.add_argument("--hive", action="store_true",
                        help="add the batched-lockstep (hive) differential "
                             "rung")
+    repro.add_argument("--serve", action="store_true",
+                       help="add the serve differential rung")
     repro.add_argument("--mutation", type=str, default=None,
                        choices=sorted(MUTATIONS))
     repro.set_defaults(func=cmd_repro)
@@ -214,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also run the batched-lockstep (hive) "
                               "differential rung (perturbation stripped "
                               "so the hive engages)")
+    mutants.add_argument("--serve", action="store_true",
+                         help="run every mutant with the serve "
+                              "differential rung active (injected bugs "
+                              "must be caught through the served path)")
     mutants.add_argument("--verbose", action="store_true")
     mutants.set_defaults(func=cmd_mutants)
     return parser

@@ -28,6 +28,12 @@ fixed oracle ladder and reports the first failure (or None):
    with ``hive_steal="scalar"``, pinning the per-lane scalar bailout
    against the vectorized steal/refill/leader passes that 5b just
    exercised; both engines must replay the primary's schedule exactly;
+5d. **serve differential** (opt-in via ``serve=True``) — send the case's
+   DFS through a live :mod:`repro.serve` daemon (real socket, wire
+   protocol, admission, cache); the served payload must equal the
+   canonical payload of the primary result, and — for unmutated runs —
+   the repeat query must come back from the result cache, still
+   identical;
 6. **scheduler differential** — heap vs calendar-queue rerun must agree
    exactly (skipped under perturbation, which bypasses both);
 7. **PDFS baseline differential** — CKL-PDFS reachability on the same
@@ -72,6 +78,7 @@ class CheckFailure:
     stress: bool = False
     turbo: bool = False
     hive: bool = False
+    serve: bool = False
 
     @property
     def repro_command(self) -> str:
@@ -88,6 +95,8 @@ class CheckFailure:
             cmd += " --turbo"
         if self.hive:
             cmd += " --hive"
+        if self.serve:
+            cmd += " --serve"
         if self.mutation:
             cmd += f" --mutation {self.mutation}"
         return cmd
@@ -114,6 +123,29 @@ def case_from_json(text: str) -> FuzzCase:
     return FuzzCase(**{k: v for k, v in data.items() if k in known})
 
 
+def _payload_diff(expected: dict, got: dict) -> str:
+    """One-line summary of where two canonical payloads differ."""
+    if expected == got:
+        return ""
+    if not isinstance(got, dict):
+        return f"payload is {type(got).__name__}, not an object"
+    keys = sorted(set(expected) | set(got))
+    bad = [k for k in keys if expected.get(k) != got.get(k)]
+    parts = []
+    for k in bad[:4]:
+        e, g = expected.get(k), got.get(k)
+        if isinstance(e, list) and isinstance(g, list):
+            if len(e) != len(g):
+                parts.append(f"{k}: length {len(e)} vs {len(g)}")
+            else:
+                at = next(i for i, (a, b) in enumerate(zip(e, g)) if a != b)
+                parts.append(f"{k}: first diff at index {at} "
+                             f"({e[at]!r} vs {g[at]!r})")
+        else:
+            parts.append(f"{k}: {str(e)[:40]!r} vs {str(g)[:40]!r}")
+    return "; ".join(parts) or "payloads differ"
+
+
 def run_monitored(case: FuzzCase, *, check_every: int = 64,
                   **config_overrides) -> DiggerBeesResult:
     """Run one case under a fresh invariant monitor; raises on violation."""
@@ -130,7 +162,7 @@ def run_monitored(case: FuzzCase, *, check_every: int = 64,
 
 def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                stress: bool = False, turbo: bool = False,
-               hive: bool = False,
+               hive: bool = False, serve: bool = False,
                check_every: Optional[int] = None) -> Optional[CheckFailure]:
     """Run the full oracle ladder on ``case``; None means it passed.
 
@@ -149,6 +181,13 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
     primary result bit-for-bit, counters included.  Opt-in because it
     roughly doubles eligible cases' cost.
 
+    ``serve`` adds the serve differential rung: the case's DFS is sent
+    through the process-wide :class:`~repro.check.serve_oracle.
+    ServeOracle` daemon and the served payload must equal the primary
+    result's canonical payload exactly.  Mutated runs bypass the
+    daemon's result cache so an injected bug's output is never memoized
+    across the mutation boundary.
+
     ``check_every`` defaults to a per-step sweep (1) in stress mode —
     transient corruption (e.g. an ABA duplicate that the victim pops a
     step later) is only visible to a sweep that runs before the next
@@ -160,7 +199,7 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
     def fail(stage: str, message: str) -> CheckFailure:
         return CheckFailure(case=case, stage=stage, message=str(message),
                             mutation=mutation, stress=stress, turbo=turbo,
-                            hive=hive)
+                            hive=hive, serve=serve)
 
     with apply_mutation(mutation):
         # Stage 1: monitored run (invariant hooks + periodic sweep).
@@ -329,6 +368,48 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                             "hive-steal-diff",
                             f"scalar-steal run {i}: counters diverge "
                             f"({', '.join(keys)})")
+
+        # Stage 5d: serve differential — the daemon-served payload must
+        # equal the canonical payload of the direct run.  The oracle
+        # daemon executes in this process (jobs=0), so the mutation
+        # monkeypatch is live on its executor threads and injected bugs
+        # flow through the full wire/admission/dispatch stack.
+        if serve:
+            from repro.check.serve_oracle import serve_oracle
+            from repro.serve.protocol import dfs_result_to_dict
+
+            expected = dfs_result_to_dict(result)
+            overrides = asdict(case.build_config(turbo=turbo))
+            mutated = mutation is not None
+            try:
+                served, was_cached = serve_oracle().query_dfs(
+                    graph, case.root, overrides, no_cache=mutated)
+            except ReproError as exc:
+                return fail("serve-diff", f"{type(exc).__name__}: {exc}")
+            mismatch = _payload_diff(expected, served)
+            if mismatch:
+                return fail("serve-diff",
+                            f"served payload diverges from direct "
+                            f"execution: {mismatch}")
+            if not mutated:
+                # Repeat query: must come back from the result cache
+                # (first query either populated it or already hit) and
+                # stay identical — the memo path serves the same bytes.
+                try:
+                    served2, was_cached2 = serve_oracle().query_dfs(
+                        graph, case.root, overrides)
+                except ReproError as exc:
+                    return fail("serve-diff",
+                                f"cache-path query failed: "
+                                f"{type(exc).__name__}: {exc}")
+                if not was_cached2:
+                    return fail("serve-diff",
+                                "repeat query missed the result cache")
+                mismatch = _payload_diff(expected, served2)
+                if mismatch:
+                    return fail("serve-diff",
+                                f"cached payload diverges from direct "
+                                f"execution: {mismatch}")
 
         # Stage 6: scheduler differential (heap vs calendar queue).
         # Perturbed runs use the dedicated perturbation loop, which

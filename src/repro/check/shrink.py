@@ -84,7 +84,8 @@ def shrink_case(
                 continue  # transformation was a no-op
             evals += 1
             result = check_case(candidate, mutation=failure.mutation,
-                                stress=failure.stress, turbo=failure.turbo)
+                                stress=failure.stress, turbo=failure.turbo,
+                                hive=failure.hive, serve=failure.serve)
             if result is not None:
                 current = candidate
                 best = result

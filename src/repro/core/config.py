@@ -21,7 +21,8 @@ from repro.errors import SimulationError
 from repro.sim.device import DeviceSpec, H100, hotring_smem_bytes
 from repro.sim.engine import SCHEDULERS
 
-__all__ = ["DiggerBeesConfig", "VICTIM_POLICIES", "HIVE_STEAL_MODES"]
+__all__ = ["DiggerBeesConfig", "ServeConfig", "VICTIM_POLICIES",
+           "HIVE_STEAL_MODES"]
 
 VICTIM_POLICIES = ("two_choice", "random")
 
@@ -287,3 +288,68 @@ class DiggerBeesConfig:
         if v not in ctors:
             raise SimulationError(f"version must be 1-4, got {v}")
         return ctors[v](device, sim_scale=sim_scale, **overrides)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the traversal query service (:mod:`repro.serve`).
+
+    Lives next to :class:`DiggerBeesConfig` because the admission layer
+    is an engine-level concern: the window/max-batch pair decides how
+    concurrent DFS queries coalesce into :mod:`repro.core.hive` lockstep
+    batches, which is the same trade (amortized per-tick cost vs. added
+    latency) the hive engine itself makes over sweep shards.
+
+    Parameters
+    ----------
+    batch_window:
+        Seconds a newly opened admission group waits for companions
+        before it is flushed to execution.  ``0`` disables coalescing:
+        every query runs the moment it arrives (the lowest-latency,
+        lowest-throughput setting).
+    max_batch:
+        Hard cap on requests per hive batch; a group flushes immediately
+        when it fills, without waiting out the window.
+    jobs:
+        Worker processes for query execution.  ``0`` executes in the
+        daemon process (thread executor) — no pickling, no shared
+        memory, ideal for tests and the check oracle; ``>= 1`` routes
+        batches through the persistent process pool in
+        :mod:`repro.bench.harness` with zero-copy shm graph hand-off.
+    cache_entries:
+        Per-graph result-cache capacity (LRU).  ``0`` disables caching.
+    cache_dir:
+        Disk spill for the result cache: ``None`` resolves
+        ``$REPRO_SERVE_CACHE`` (or the default user cache dir), ``"off"``
+        keeps the cache memory-only, any other string is used as the
+        directory path.
+    drain_timeout:
+        Seconds a clean shutdown waits for in-flight batches before
+        abandoning them.
+    """
+
+    batch_window: float = 0.005
+    max_batch: int = 64
+    jobs: int = 0
+    cache_entries: int = 4096
+    cache_dir: Optional[str] = None
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.batch_window < 0:
+            raise SimulationError(
+                f"batch_window must be >= 0, got {self.batch_window}")
+        if self.max_batch < 1:
+            raise SimulationError(
+                f"max_batch must be >= 1, got {self.max_batch}")
+        if self.jobs < 0:
+            raise SimulationError(f"jobs must be >= 0, got {self.jobs}")
+        if self.cache_entries < 0:
+            raise SimulationError(
+                f"cache_entries must be >= 0, got {self.cache_entries}")
+        if self.drain_timeout < 0:
+            raise SimulationError(
+                f"drain_timeout must be >= 0, got {self.drain_timeout}")
+
+    def with_(self, **kwargs) -> "ServeConfig":
+        return replace(self, **kwargs)

@@ -99,3 +99,23 @@ class InvariantViolation(SimulationError):
 
 class BenchmarkError(ReproError):
     """Raised when the benchmark harness is misconfigured."""
+
+
+class ServeError(ReproError):
+    """Raised by the traversal service (:mod:`repro.serve`).
+
+    Covers daemon-side misconfiguration (unknown graph, unusable corpus)
+    and client-side transport failures (connection refused, daemon went
+    away mid-request).  Query *execution* failures are never raised out
+    of the daemon: they travel back to the client as structured error
+    responses so one bad query cannot take the service down.
+    """
+
+
+class ProtocolError(ServeError):
+    """Raised when a serve request or response line is malformed.
+
+    The daemon answers a malformed line with an error response (when it
+    can still attribute an ``id`` to it) and keeps the connection open;
+    the client raises this directly.
+    """

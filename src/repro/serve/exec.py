@@ -1,0 +1,202 @@
+"""Query execution for the traversal service.
+
+Module-level, picklable functions so the daemon can run them either
+in-process (``jobs = 0``) or across the persistent worker pool of
+:mod:`repro.bench.harness` (``jobs >= 1``) with identical results.
+Workers receive graphs as shared-memory specs (attached and cached via
+the harness's worker-side graph cache) or, on the pickle-fallback path,
+as the graphs themselves.
+
+Failure semantics: *query* failures — an over-budget simulation, a
+toposort on a cyclic graph, an out-of-range root — are returned as
+per-task error markers so one bad query in a hive batch cannot poison
+its neighbours or look like an infrastructure fault.  Infrastructure
+failures (dangling shm segment, broken pool) raise, and the daemon's
+dispatch layer degrades: re-export, pickle, or in-process execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import DiggerBeesConfig
+from repro.errors import ProtocolError, ReproError
+from repro.serve.protocol import QUERY_OPS, dfs_result_to_dict
+
+__all__ = [
+    "build_engine_config",
+    "execute_query",
+    "execute_dfs_batch",
+    "ERROR_KEY",
+]
+
+#: Per-task error marker key in batch results.
+ERROR_KEY = "__error__"
+
+#: DiggerBeesConfig fields a request may override (everything except the
+#: perturbation knobs would also be safe, but fuzz configs need those
+#: too for the serve-diff rung, so the whole dataclass is wire-exposed).
+_CONFIG_FIELDS = frozenset(DiggerBeesConfig.__dataclass_fields__)
+
+
+def build_engine_config(overrides: Optional[Dict[str, Any]],
+                        ) -> DiggerBeesConfig:
+    """Engine config for one DFS query (daemon default + overrides)."""
+    if not overrides:
+        return DiggerBeesConfig()
+    unknown = set(overrides) - _CONFIG_FIELDS
+    if unknown:
+        raise ProtocolError(
+            f"unknown engine-config field(s) {sorted(unknown)}")
+    # ReproError (SimulationError) from validation propagates to the
+    # caller, which turns it into a per-request error response.
+    return DiggerBeesConfig(**overrides)
+
+
+def _resolve(wire_graph):
+    """Attach a shm spec (worker-side cached) or pass a graph through."""
+    from repro.bench.harness import _resolve_task_graph
+
+    return _resolve_task_graph(wire_graph)
+
+
+def _error_marker(exc: BaseException) -> Dict[str, Any]:
+    return {ERROR_KEY: {"type": type(exc).__name__, "message": str(exc)}}
+
+
+# ---------------------------------------------------------------------------
+# Single queries.
+# ---------------------------------------------------------------------------
+
+def _dfs(graph, root: int, overrides) -> Dict[str, Any]:
+    from repro.core.diggerbees import run_diggerbees
+
+    res = run_diggerbees(graph, root, config=build_engine_config(overrides))
+    return dfs_result_to_dict(res)
+
+
+def _scc(graph, root: int, overrides) -> Dict[str, Any]:
+    from repro.apps import strongly_connected_components
+
+    comp = strongly_connected_components(graph)
+    return {
+        "components": comp.tolist(),
+        "n_components": int(comp.max()) + 1 if comp.size else 0,
+    }
+
+
+def _toposort(graph, root: int, overrides) -> Dict[str, Any]:
+    from repro.apps import CycleFound, topological_sort
+
+    try:
+        order = topological_sort(graph)
+    except CycleFound as exc:
+        return {"order": None, "cycle": [int(v) for v in exc.cycle]}
+    return {"order": order.tolist(), "cycle": None}
+
+
+def _cycles(graph, root: int, overrides) -> Dict[str, Any]:
+    from repro.apps import find_cycle
+    from repro.validate.reference import serial_dfs
+
+    traversal = serial_dfs(graph, root)
+    cycle = find_cycle(graph, traversal)
+    return {
+        "has_cycle": cycle is not None,
+        "cycle": [int(v) for v in cycle] if cycle is not None else None,
+    }
+
+
+def _biconnectivity(graph, root: int, overrides) -> Dict[str, Any]:
+    from repro.apps import biconnectivity
+
+    res = biconnectivity(graph)
+    return {
+        "articulation_points":
+            np.flatnonzero(res.articulation_points).tolist(),
+        "bridges": [[int(u), int(v)] for u, v in res.bridges.tolist()],
+        "edge_component": res.edge_component.tolist(),
+        "n_components": int(res.n_components),
+    }
+
+
+def _spanning(graph, root: int, overrides) -> Dict[str, Any]:
+    from repro.apps import spanning_forest
+
+    forest = spanning_forest(graph)
+    return {
+        "parent": forest.parent.tolist(),
+        "component": forest.component.tolist(),
+        "roots": [int(r) for r in forest.roots],
+        "n_components": int(forest.n_components),
+        "total_cycles": int(forest.total_cycles),
+    }
+
+
+_EXECUTORS = {
+    "dfs": _dfs,
+    "scc": _scc,
+    "toposort": _toposort,
+    "cycles": _cycles,
+    "biconnectivity": _biconnectivity,
+    "spanning": _spanning,
+}
+assert set(_EXECUTORS) == set(QUERY_OPS)
+
+
+def execute_query(wire_graph, op: str, root: int,
+                  overrides: Optional[Dict[str, Any]] = None,
+                  ) -> Dict[str, Any]:
+    """Execute one query; returns the result dict or an error marker."""
+    graph = _resolve(wire_graph)
+    try:
+        if root < 0 or root >= graph.n_vertices:
+            raise ProtocolError(
+                f"root {root} out of range for {graph.n_vertices} vertices")
+        return _EXECUTORS[op](graph, root, overrides)
+    except ReproError as exc:
+        return _error_marker(exc)
+
+
+# ---------------------------------------------------------------------------
+# Batched DFS.
+# ---------------------------------------------------------------------------
+
+def execute_dfs_batch(wire_graph,
+                      tasks: List[Tuple[int, Optional[Dict[str, Any]]]],
+                      ) -> List[Dict[str, Any]]:
+    """Execute ``[(root, config-overrides), ...]`` DFS queries, batched.
+
+    Hive-eligible, mutually compatible tasks run as one
+    :func:`repro.core.hive.run_hive` lockstep batch; anything else — and
+    any batch a run aborts (the hive propagates one run's failure to its
+    whole batch, but service responses must fail per *request*) — falls
+    back to per-task scalar execution.  Per-task results are identical
+    either way; the batch's width is reported by the daemon, not here.
+    """
+    graph = _resolve(wire_graph)
+    n = graph.n_vertices
+    try:
+        configs = [build_engine_config(ov) for _, ov in tasks]
+    except ReproError:
+        # At least one bad config: settle every task individually.
+        return [execute_query(graph, "dfs", root, ov) for root, ov in tasks]
+    roots_ok = all(0 <= root < n for root, _ in tasks)
+
+    if len(tasks) > 1 and roots_ok:
+        from repro.core.hive import hive_compatible, hive_eligible, run_hive
+
+        base = configs[0]
+        if (all(hive_eligible(c) for c in configs)
+                and all(hive_compatible(base, c) for c in configs[1:])):
+            try:
+                results = run_hive(
+                    graph, [(root, cfg)
+                            for (root, _), cfg in zip(tasks, configs)])
+                return [dfs_result_to_dict(r) for r in results]
+            except ReproError:
+                pass  # settle per task below for per-request errors
+
+    return [execute_query(graph, "dfs", root, ov) for root, ov in tasks]

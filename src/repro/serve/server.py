@@ -1,0 +1,552 @@
+"""The traversal daemon: an asyncio query server over a resident corpus.
+
+Architecture (one process, one event loop):
+
+* **Connections** — each client speaks newline-delimited JSON over a
+  local (Unix-domain) stream socket.  Requests are admitted as they
+  arrive; responses are written as results complete, so a connection
+  may receive them out of request order (clients correlate by ``id``).
+* **Admission** — DFS queries are grouped by (graph, canonical engine
+  config) in a :class:`~repro.serve.admission.BatchPolicy`; a group
+  flushes to execution when its ``batch_window`` expires or it reaches
+  ``max_batch``.  Identical in-flight queries additionally coalesce
+  into one execution ("single-flight"), so a thundering herd of the
+  same query costs one simulation.
+* **Execution** — flushed batches run through
+  :func:`repro.serve.exec.execute_dfs_batch` (hive lockstep where
+  eligible) either in-process (``jobs = 0``) or on the persistent
+  worker pool of :mod:`repro.bench.harness` with zero-copy shm graph
+  hand-off.  Infrastructure failures degrade stepwise — broken pool ->
+  fresh pool -> pickled graph -> in-process — and every demotion is
+  counted in ``stats``; a query is answered wrong never, slower at
+  worst.
+* **Caching** — results are memoized per graph
+  (:mod:`repro.serve.cache`), keyed by (op, root, config, graph
+  fingerprint); hits are answered inline on the event loop from the
+  pre-serialized JSON.
+* **Shutdown** — stops accepting, flushes every admission group,
+  drains in-flight executions (bounded by ``drain_timeout``), spills
+  caches, then closes.  Client disconnects never cancel executions
+  their batch-mates are waiting on; the orphaned responses are dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import ServeConfig
+from repro.errors import ProtocolError, ReproError, ServeError
+from repro.serve.admission import Batch, BatchPolicy
+from repro.serve.cache import (
+    GraphResultCache,
+    default_cache_dir,
+    result_key,
+)
+from repro.serve.corpus import ResidentCorpus, ResidentGraph
+from repro.serve.exec import ERROR_KEY, execute_dfs_batch, execute_query
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    QUERY_OPS,
+    MAX_LINE_BYTES,
+    Request,
+    Response,
+    decode_request,
+    encode_response,
+    encode_response_with_raw_result,
+    error_response,
+)
+
+__all__ = ["ServeServer", "ServerStats"]
+
+
+class ServerStats:
+    """Monotonic daemon counters, surfaced by the ``status`` op."""
+
+    FIELDS = (
+        "connections", "requests", "responses", "errors",
+        "cache_hits", "cache_misses", "coalesced",
+        "batches", "batched_queries", "hive_batches",
+        "pool_broken", "shm_fallbacks", "inline_fallbacks",
+        "dropped_responses", "protocol_errors",
+    )
+
+    def __init__(self) -> None:
+        for f in self.FIELDS:
+            setattr(self, f, 0)
+
+    def bump(self, field: str, by: int = 1) -> None:
+        setattr(self, field, getattr(self, field) + by)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {f: getattr(self, f) for f in self.FIELDS}
+
+
+class _PendingQuery:
+    """One admitted query waiting for its result."""
+
+    __slots__ = ("request", "key", "future", "admitted")
+
+    def __init__(self, request: Request, key: str,
+                 future: "asyncio.Future", admitted: float):
+        self.request = request
+        self.key = key          # cache key (single-flight identity)
+        self.future = future    # resolves to (result, raw, batch_width)
+        self.admitted = admitted
+
+
+def _canonical_config(overrides: Optional[Dict[str, Any]]) -> str:
+    return json.dumps(overrides or {}, sort_keys=True,
+                      separators=(",", ":"))
+
+
+class ServeServer:
+    """One daemon instance.  Not thread-safe; owned by one event loop."""
+
+    def __init__(self, corpus: ResidentCorpus,
+                 config: Optional[ServeConfig] = None):
+        self.corpus = corpus
+        self.config = config or ServeConfig()
+        self.policy = BatchPolicy(self.config.batch_window,
+                                  self.config.max_batch)
+        self.stats = ServerStats()
+        self.started_at = time.time()
+        self._caches: Dict[str, GraphResultCache] = {}
+        self._cache_dir = self._resolve_cache_dir()
+        self._inflight_keys: Dict[Tuple[str, str], List[_PendingQuery]] = {}
+        self._exec_tasks: "set[asyncio.Task]" = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Dedicated bounded executor for jobs=0 execution: the default
+        # loop executor spawns ~cpu+4 threads, and that many GIL-bound
+        # simulations starve the event loop (cache hits stall behind
+        # compute).  Two workers keep misses flowing while the loop
+        # retains enough GIL share to answer hits at full rate.
+        self._thread_exec: Optional[ThreadPoolExecutor] = None
+        self._flusher: Optional[asyncio.Task] = None
+        self._wake = asyncio.Event()
+        self._accepting = False
+        self._closing = False
+        self._shutdown_done = asyncio.Event()
+        self.socket_path: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    async def start(self, socket_path: str) -> None:
+        """Bind the Unix socket and start accepting clients."""
+        if self._server is not None:
+            raise ServeError("server already started")
+        self.socket_path = socket_path
+        self._accepting = True
+        self._server = await asyncio.start_unix_server(
+            self._on_connection, path=socket_path,
+            limit=MAX_LINE_BYTES)
+        self._flusher = asyncio.ensure_future(self._flush_loop())
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`stop`) lands."""
+        await self._shutdown_done.wait()
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop accepting, drain in-flight work, release resources."""
+        if self._closing:
+            await self._shutdown_done.wait()
+            return
+        self._closing = True
+        self._accepting = False
+        if self._server is not None:
+            self._server.close()
+        # Flush every held admission group so queued queries complete.
+        for batch in self.policy.flush_all():
+            self._launch_batch(batch)
+        if drain and self._exec_tasks:
+            await asyncio.wait(set(self._exec_tasks),
+                               timeout=self.config.drain_timeout)
+        if self._flusher is not None:
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+        for cache in self._caches.values():
+            cache.flush()
+        if self._thread_exec is not None:
+            self._thread_exec.shutdown(wait=False)
+        self._shutdown_done.set()
+
+    def _resolve_cache_dir(self):
+        raw = self.config.cache_dir
+        if raw is None:
+            return default_cache_dir()
+        if raw.strip().lower() in ("", "0", "off", "none", "disabled"):
+            return None
+        from pathlib import Path
+
+        return Path(raw).expanduser()
+
+    def _cache_for(self, entry: ResidentGraph) -> GraphResultCache:
+        cache = self._caches.get(entry.name)
+        if cache is None or cache.graph_fingerprint != entry.fingerprint:
+            cache = GraphResultCache(entry.name, entry.fingerprint,
+                                     self._cache_dir,
+                                     self.config.cache_entries)
+            self._caches[entry.name] = cache
+        return cache
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self.stats.bump("connections")
+        write_lock = asyncio.Lock()
+        conn_tasks: "set[asyncio.Task]" = set()
+        try:
+            while self._accepting:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, write_lock, encode_response(
+                        error_response(None, ProtocolError(
+                            f"request line exceeds {MAX_LINE_BYTES} B"))))
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break  # client closed its write side
+                if line.strip() == b"":
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock))
+                conn_tasks.add(task)
+                task.add_done_callback(conn_tasks.discard)
+        except asyncio.CancelledError:
+            pass  # loop teardown; fall through to the cleanup below
+        finally:
+            # Let already-admitted requests finish writing; new reads stop.
+            # A cancellation landing inside this cleanup must not leak out:
+            # the task would finish cancelled and asyncio's stream callback
+            # logs that as a spurious error at loop teardown.
+            try:
+                if conn_tasks:
+                    await asyncio.gather(*conn_tasks, return_exceptions=True)
+                writer.close()
+                await writer.wait_closed()
+            except (Exception, asyncio.CancelledError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    write_lock: asyncio.Lock, payload: bytes) -> None:
+        """Write one response line; a dead client just drops the line."""
+        try:
+            async with write_lock:
+                writer.write(payload)
+                await writer.drain()
+            self.stats.bump("responses")
+        except (ConnectionError, RuntimeError, OSError):
+            self.stats.bump("dropped_responses")
+
+    async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
+                          write_lock: asyncio.Lock) -> None:
+        self.stats.bump("requests")
+        try:
+            req = decode_request(line)
+        except ProtocolError as exc:
+            self.stats.bump("protocol_errors")
+            # Best-effort id recovery so the client can correlate.
+            req_id = None
+            try:
+                req_id = json.loads(line.decode("utf-8", "replace")).get("id")
+            except Exception:
+                pass
+            await self._send(writer, write_lock, encode_response(
+                error_response(None, exc, req_id=req_id)))
+            return
+        try:
+            payload = await self._dispatch(req)
+        except asyncio.CancelledError:
+            raise
+        except ReproError as exc:
+            self.stats.bump("errors")
+            payload = encode_response(error_response(req, exc))
+        except Exception as exc:  # daemon must survive anything
+            self.stats.bump("errors")
+            payload = encode_response(error_response(req, exc))
+        if payload is not None:
+            await self._send(writer, write_lock, payload)
+
+    # ------------------------------------------------------------------
+    # Request dispatch.
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, req: Request) -> Optional[bytes]:
+        if req.op in QUERY_OPS:
+            return await self._dispatch_query(req)
+        if req.op == "ping":
+            return encode_response(Response(
+                op="ping", id=req.id,
+                result={"pong": True, "version": PROTOCOL_VERSION}))
+        if req.op == "status":
+            return encode_response(Response(
+                op="status", id=req.id, result=self._status()))
+        if req.op == "graphs":
+            return encode_response(Response(
+                op="graphs", id=req.id,
+                result={"graphs": self.corpus.describe()}))
+        if req.op == "add_graph":
+            return encode_response(Response(
+                op="add_graph", id=req.id,
+                result=self._add_graph(req)))
+        if req.op == "shutdown":
+            asyncio.ensure_future(self.stop())
+            return encode_response(Response(
+                op="shutdown", id=req.id, result={"stopping": True}))
+        raise ProtocolError(f"unhandled op {req.op!r}")
+
+    def _status(self) -> Dict[str, Any]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "uptime_seconds": time.time() - self.started_at,
+            "graphs": self.corpus.names(),
+            "config": {
+                "batch_window": self.config.batch_window,
+                "max_batch": self.config.max_batch,
+                "jobs": self.config.jobs,
+                "cache_entries": self.config.cache_entries,
+            },
+            "pending": self.policy.pending_count(),
+            "inflight_batches": len(self._exec_tasks),
+            "stats": self.stats.snapshot(),
+            "caches": {n: c.stats() for n, c in self._caches.items()},
+        }
+
+    def _add_graph(self, req: Request) -> Dict[str, Any]:
+        from repro.graphs.csr import CSRGraph
+        import numpy as np
+
+        p = req.payload or {}
+        missing = {"name", "row_ptr", "column_idx"} - set(p)
+        if missing:
+            raise ProtocolError(
+                f"add_graph payload missing {sorted(missing)}")
+        try:
+            graph = CSRGraph(
+                row_ptr=np.asarray(p["row_ptr"], dtype=np.int64),
+                column_idx=np.asarray(p["column_idx"], dtype=np.int64),
+                directed=bool(p.get("directed", False)),
+                name=str(p["name"]),
+            )
+        except (ReproError, ValueError, TypeError) as exc:
+            raise ProtocolError(f"bad add_graph payload: {exc}") from None
+        entry = self.corpus.add(graph, str(p["name"]))
+        return {"added": entry.name, "fingerprint": entry.fingerprint,
+                "n_vertices": int(graph.n_vertices)}
+
+    # ------------------------------------------------------------------
+    # Query path: cache -> single-flight -> admission -> execution.
+    # ------------------------------------------------------------------
+
+    async def _dispatch_query(self, req: Request) -> bytes:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        entry = self.corpus.get(req.graph)          # ServeError if unknown
+        if req.op == "dfs":
+            # Validate overrides up front: a malformed config must fail
+            # its own request, not the batch it would have joined.
+            from repro.serve.exec import build_engine_config
+
+            build_engine_config(req.config)
+        key = result_key(req.op, req.root, req.config, entry.fingerprint)
+        cache = self._cache_for(entry)
+
+        if not req.no_cache:
+            hit = cache.get(key)
+            if hit is not None:
+                self.stats.bump("cache_hits")
+                result, raw = hit
+                return encode_response_with_raw_result(
+                    Response(op=req.op, id=req.id, cached=True,
+                             elapsed_ms=_ms(loop.time() - t0)), raw)
+            self.stats.bump("cache_misses")
+
+            # Single-flight: identical query already executing -> wait
+            # on its future instead of re-admitting.
+            flight_key = (entry.name, key)
+            waiters = self._inflight_keys.get(flight_key)
+            if waiters is not None:
+                self.stats.bump("coalesced")
+                pending = _PendingQuery(req, key, loop.create_future(), t0)
+                waiters.append(pending)
+                return await self._await_pending(pending, t0)
+
+        pending = _PendingQuery(req, key, loop.create_future(), t0)
+        if not req.no_cache:
+            self._inflight_keys[(entry.name, key)] = [pending]
+
+        if req.op == "dfs":
+            admission_key = (entry.name, _canonical_config(req.config),
+                             bool(req.no_cache))
+            batch = self.policy.add(admission_key,
+                                    (entry, pending), loop.time())
+            if batch is not None:
+                self._launch_batch(batch)
+            else:
+                self._wake.set()   # flusher recomputes its deadline
+        else:
+            self._launch_batch(Batch(
+                key=(entry.name, req.op), items=((entry, pending),),
+                opened=t0, reason="app"))
+        return await self._await_pending(pending, t0)
+
+    async def _await_pending(self, pending: _PendingQuery,
+                             t0: float) -> bytes:
+        loop = asyncio.get_running_loop()
+        result, raw, width = await pending.future
+        elapsed = _ms(loop.time() - t0)
+        req = pending.request
+        if ERROR_KEY in result:
+            self.stats.bump("errors")
+            return encode_response(Response(
+                op=req.op, id=req.id, ok=False,
+                error=dict(result[ERROR_KEY]), batch=width,
+                elapsed_ms=elapsed))
+        return encode_response_with_raw_result(
+            Response(op=req.op, id=req.id, batch=width,
+                     elapsed_ms=elapsed), raw)
+
+    # ------------------------------------------------------------------
+    # Batch execution.
+    # ------------------------------------------------------------------
+
+    def _launch_batch(self, batch: Batch) -> None:
+        task = asyncio.ensure_future(self._run_batch(batch))
+        self._exec_tasks.add(task)
+        task.add_done_callback(self._exec_tasks.discard)
+        self.stats.bump("batches")
+        self.stats.bump("batched_queries", len(batch.items))
+        if len(batch.items) > 1:
+            self.stats.bump("hive_batches")
+
+    async def _run_batch(self, batch: Batch) -> None:
+        entry: ResidentGraph = batch.items[0][0]
+        pendings: List[_PendingQuery] = [p for _, p in batch.items]
+        width = len(pendings)
+        try:
+            if pendings[0].request.op == "dfs":
+                tasks = [(p.request.root, p.request.config)
+                         for p in pendings]
+                results = await self._execute(
+                    execute_dfs_batch, entry, tasks)
+            else:
+                req = pendings[0].request
+                results = [await self._execute(
+                    execute_query, entry, req.op, req.root, req.config)]
+        except asyncio.CancelledError:
+            for p in pendings:
+                if not p.future.done():
+                    p.future.cancel()
+            raise
+        except Exception as exc:   # infrastructure failure after fallbacks
+            marker = {ERROR_KEY: {"type": type(exc).__name__,
+                                  "message": str(exc)}}
+            self._settle(entry, pendings, [marker] * width, width)
+            return
+        self._settle(entry, pendings, results, width)
+
+    def _settle(self, entry: ResidentGraph,
+                pendings: List[_PendingQuery],
+                results: List[Dict[str, Any]], width: int) -> None:
+        cache = self._cache_for(entry)
+        for pending, result in zip(pendings, results):
+            ok = ERROR_KEY not in result
+            raw = (json.dumps(result, separators=(",", ":"))
+                   if ok else "")
+            waiters: List[_PendingQuery] = []
+            if not pending.request.no_cache:
+                if ok:
+                    cache.put(pending.key, result, raw)
+                # Resolve the single-flight group (leader is member 0);
+                # no_cache queries never own a group, so they must not
+                # pop one that a cached-path leader is still executing.
+                flight_key = (entry.name, pending.key)
+                waiters = self._inflight_keys.pop(flight_key, None) or []
+            group = [pending] + [w for w in waiters if w is not pending]
+            for member in group:
+                if not member.future.done():
+                    member.future.set_result((result, raw, width))
+
+    async def _execute(self, fn, entry: ResidentGraph, *args):
+        """Run ``fn(graph, *args)`` at the configured execution tier.
+
+        Degradation ladder for ``jobs >= 1``: healthy pool with shm spec
+        -> (pool broke) one fresh pool -> (shm dangling) pickled graph
+        -> in-process.  Query-level errors are *results* (markers) and
+        never trigger demotion.
+        """
+        loop = asyncio.get_running_loop()
+        jobs = self.config.jobs
+        if jobs >= 1:
+            from concurrent.futures.process import BrokenProcessPool
+            from repro.bench import harness
+
+            wire = entry.wire()
+            for attempt in range(2):
+                handle = harness.lease_pool(jobs)
+                try:
+                    fut = handle.executor.submit(fn, wire, *args)
+                    out = await asyncio.wrap_future(fut)
+                except BrokenProcessPool:
+                    harness.release_pool(handle, broken=True)
+                    self.stats.bump("pool_broken")
+                    continue
+                except (FileNotFoundError, OSError):
+                    # Dangling shm segment: demote this graph to pickle
+                    # hand-off and retry on the same (healthy) pool.
+                    harness.release_pool(handle)
+                    if entry.shm_ok:
+                        entry.demote()
+                        self.stats.bump("shm_fallbacks")
+                        wire = entry.wire()
+                        continue
+                    break
+                else:
+                    harness.release_pool(handle)
+                    return out
+            self.stats.bump("inline_fallbacks")
+        if self._thread_exec is None:
+            self._thread_exec = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="serve-exec")
+        return await loop.run_in_executor(
+            self._thread_exec, fn, entry.graph, *args)
+
+    # ------------------------------------------------------------------
+    # Window flusher.
+    # ------------------------------------------------------------------
+
+    async def _flush_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._closing:
+            deadline = self.policy.next_deadline()
+            timeout = (None if deadline is None
+                       else max(0.0, deadline - loop.time()))
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()
+            for batch in self.policy.due(loop.time()):
+                self._launch_batch(batch)
+
+
+def _ms(seconds: float) -> float:
+    return round(seconds * 1000.0, 3)

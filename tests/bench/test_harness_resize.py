@@ -1,0 +1,139 @@
+"""Pool lease/retire semantics: resize races never drop futures.
+
+The historical bug: the persistent pool was a bare module-global
+``ProcessPoolExecutor`` that a resize shut down eagerly, so a thread
+resizing the pool while another thread's fan-out was mid-submit raised
+"cannot schedule new futures after shutdown" and lost that fan-out.
+The fix is generational leasing — ``lease_pool``/``release_pool`` — and
+these are its regression tests.
+"""
+
+import threading
+
+import pytest
+
+from repro.bench import harness
+
+
+@pytest.fixture(autouse=True)
+def _clean_pool():
+    harness._shutdown_pool()
+    yield
+    harness._shutdown_pool()
+
+
+def test_lease_release_reuses_one_generation():
+    h1 = harness.lease_pool(2)
+    h2 = harness.lease_pool(2)
+    assert h1 is h2 and h1.users == 2
+    harness.release_pool(h1)
+    harness.release_pool(h2)
+    assert h1.users == 0 and not h1.retired
+    # Same size again: the generation survives across lease gaps.
+    assert harness.lease_pool(2) is h1
+    harness.release_pool(h1)
+
+
+def test_resize_retires_but_old_handle_stays_submittable():
+    old = harness.lease_pool(1)
+    fut_before = old.executor.submit(abs, -3)
+    new = harness.lease_pool(2)              # resize while old is leased
+    assert new is not old and old.retired
+    # The regression: this submit used to raise RuntimeError("cannot
+    # schedule new futures after shutdown").
+    fut_after = old.executor.submit(abs, -7)
+    assert fut_before.result(timeout=30) == 3
+    assert fut_after.result(timeout=30) == 7
+    harness.release_pool(new)
+    harness.release_pool(old)               # last release reclaims it
+    with pytest.raises(RuntimeError):
+        old.executor.submit(abs, -1)
+
+
+def test_broken_release_clears_global_for_next_lease():
+    h = harness.lease_pool(1)
+    harness.release_pool(h, broken=True)
+    assert h.retired and harness._HANDLE is None
+    fresh = harness.lease_pool(1)
+    assert fresh is not h
+    assert fresh.executor.submit(abs, -5).result(timeout=30) == 5
+    harness.release_pool(fresh)
+
+
+def test_broken_release_with_other_holders_drains_gracefully():
+    h1 = harness.lease_pool(1)
+    h2 = harness.lease_pool(1)
+    assert h1 is h2
+    harness.release_pool(h1, broken=True)
+    # The surviving holder's generation is retired but not shut down
+    # until that last lease comes back.
+    assert h2.retired and h2.users == 1
+    fresh = harness.lease_pool(1)
+    assert fresh is not h2
+    harness.release_pool(h2)
+    harness.release_pool(fresh)
+
+
+def test_concurrent_resizes_and_fan_outs_lose_nothing():
+    """Hammer lease/submit/release from many threads while the pool size
+    flips: every submitted future must complete (the old race dropped
+    them with 'cannot schedule new futures after shutdown')."""
+    errors = []
+    results = []
+    lock = threading.Lock()
+
+    def worker(jobs, n):
+        try:
+            for i in range(n):
+                h = harness.lease_pool(jobs)
+                try:
+                    fut = h.executor.submit(abs, -(i + 1))
+                    value = fut.result(timeout=60)
+                finally:
+                    harness.release_pool(h)
+                with lock:
+                    results.append(value)
+        except Exception as exc:            # pragma: no cover - failure
+            with lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(1 + (k % 2), 6))
+               for k in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not errors, errors
+    assert len(results) == 4 * 6
+    assert all(v >= 1 for v in results)
+
+
+def test_fan_out_still_correct_across_interleaved_resizes():
+    """End-to-end: run_sweep-level fan-outs racing a resizing thread
+    produce exactly the samples a serial run produces."""
+    from repro.bench.harness import BenchConfig
+    from repro.graphs import generators as gen
+
+    graph = gen.binary_tree(4)
+    cfg = BenchConfig(sim_scale=0.05, warps_per_block=2, n_roots=2, seed=3)
+    tasks = [("DiggerBees", graph, r, cfg) for r in range(4)]
+    expected = [harness._execute_task(t) for t in tasks]
+
+    stop = threading.Event()
+
+    def resizer():
+        flip = 2
+        while not stop.is_set():
+            h = harness.lease_pool(flip)
+            harness.release_pool(h)
+            flip = 3 if flip == 2 else 2
+
+    t = threading.Thread(target=resizer)
+    t.start()
+    try:
+        for _ in range(3):
+            got = harness._fan_out(tasks, jobs=2)
+            assert got == expected
+    finally:
+        stop.set()
+        t.join(timeout=30)

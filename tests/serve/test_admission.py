@@ -1,0 +1,156 @@
+"""Admission-policy properties: bounds, conservation, invariance.
+
+The policy is pure and time-injected, so Hypothesis can drive it with
+arbitrary synthetic schedules — arrivals interleaved with timer polls —
+and check the contract exhaustively:
+
+* no batch ever exceeds ``max_batch``;
+* once ``due()`` is polled at/after a group's deadline, its items flush
+  (no request waits past the window unless the batch filled first);
+* every admitted item flushes exactly once, in arrival order, never
+  mixed across keys (conservation);
+* and the *results* of batched DFS execution are invariant to how the
+  admission knobs sliced the work (the execution-level half of the
+  "(jobs, batch, window) invariance" acceptance criterion; the socket
+  e2e half lives in ``test_server.py``).
+"""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.admission import BatchPolicy
+
+# Schedule alphabet: ("add", key, item_id, dt) | ("poll", dt) — dt is the
+# time advance before the event fires.
+_events = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(0, 2),
+                  st.integers(), st.floats(0, 0.05)),
+        st.tuples(st.just("poll"), st.floats(0, 0.05)),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+@given(events=_events, window=st.floats(0.001, 0.1),
+       max_batch=st.integers(1, 6))
+@settings(max_examples=200)
+def test_policy_bounds_and_conservation(events, window, max_batch):
+    policy = BatchPolicy(window, max_batch)
+    now = 0.0
+    admitted = defaultdict(list)   # key -> item ids in arrival order
+    flushed = defaultdict(list)
+    deadlines = {}                 # item id -> latest allowed flush poll
+    item_seq = 0
+
+    def consume(batches, at):
+        for batch in batches:
+            assert 1 <= len(batch.items) <= max_batch
+            assert batch.reason in ("full", "window", "drain")
+            for key, item in batch.items:
+                assert key == batch.key
+                flushed[key].append(item)
+
+    for ev in events:
+        if ev[0] == "add":
+            _, key, _, dt = ev
+            now += dt
+            item_seq += 1
+            admitted[key].append(item_seq)
+            deadlines[item_seq] = now + window
+            out = policy.add(key, (key, item_seq), now)
+            consume([out] if out is not None else [], now)
+        else:
+            now += ev[1]
+            due = policy.due(now)
+            consume(due, now)
+            # Window bound: nothing still pending is past its deadline.
+            nd = policy.next_deadline()
+            if nd is not None:
+                assert nd > now or abs(nd - now) < 1e-12
+
+    consume(policy.flush_all(now), now)
+    assert policy.pending_count() == 0
+
+    # Conservation: exactly once, in arrival order, per key.
+    assert dict(flushed) == {k: v for k, v in admitted.items() if v}
+
+
+@given(window=st.floats(0.001, 0.1), max_batch=st.integers(2, 8),
+       n=st.integers(0, 20))
+@settings(max_examples=100)
+def test_policy_full_flush_fires_at_capacity(window, max_batch, n):
+    policy = BatchPolicy(window, max_batch)
+    full_batches = 0
+    for i in range(n):
+        out = policy.add("k", i, 0.0)
+        if out is not None:
+            assert out.reason == "full"
+            assert len(out.items) == max_batch
+            full_batches += 1
+    assert full_batches == n // max_batch
+    assert policy.pending_count() == n % max_batch
+
+
+def test_zero_window_dispatches_immediately():
+    policy = BatchPolicy(0.0, 64)
+    out = policy.add("k", "item", 123.0)
+    assert out is not None and out.items == ("item",)
+    assert policy.pending_count() == 0
+    assert policy.next_deadline() is None
+
+
+def test_max_batch_one_dispatches_immediately():
+    policy = BatchPolicy(10.0, 1)
+    out = policy.add("k", "item", 0.0)
+    assert out is not None and out.items == ("item",)
+
+
+def test_due_respects_per_key_deadlines():
+    policy = BatchPolicy(1.0, 64)
+    policy.add("a", 1, 0.0)
+    policy.add("b", 2, 0.5)
+    assert policy.next_deadline() == pytest.approx(1.0)
+    first = policy.due(1.0)
+    assert [b.key for b in first] == ["a"]
+    assert policy.due(1.2) == []
+    second = policy.due(1.5)
+    assert [b.key for b in second] == ["b"]
+
+
+def test_rejects_bad_max_batch():
+    with pytest.raises(ValueError):
+        BatchPolicy(0.01, 0)
+
+
+# ---------------------------------------------------------------------------
+# Result invariance under arbitrary batch slicings.
+# ---------------------------------------------------------------------------
+
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_batched_results_invariant_to_slicing(data):
+    """However admission slices the same queries into batches, every
+    query's result equals its scalar execution bit-for-bit."""
+    from repro.graphs import generators as gen
+    from repro.serve.exec import execute_dfs_batch, execute_query
+
+    graph = gen.binary_tree(4)
+    roots = data.draw(st.lists(
+        st.integers(0, graph.n_vertices - 1), min_size=1, max_size=6))
+    tasks = [(r, {"seed": 1}) for r in roots]
+    expected = [execute_query(graph, "dfs", r, {"seed": 1})
+                for r in roots]
+
+    # Random partition into contiguous batches (what admission produces).
+    cuts = data.draw(st.sets(st.integers(1, max(1, len(tasks) - 1)),
+                             max_size=len(tasks) - 1)) if len(tasks) > 1 \
+        else set()
+    bounds = [0] + sorted(cuts) + [len(tasks)]
+    got = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        got.extend(execute_dfs_batch(graph, tasks[lo:hi]))
+    assert got == expected
