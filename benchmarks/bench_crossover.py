@@ -1,0 +1,261 @@
+"""BFS-vs-DFS crossover sweep: where each engine family wins, by depth.
+
+The frontier engine (:mod:`repro.core.frontier`) advances whole BFS
+levels with bit-packed vectors — its cost scales with the number of
+levels, not the number of vertices, so shallow-wide graphs are its
+winning shape.  The DFS simulation tiers amortize differently: the hive
+engine's lockstep batching makes per-run cost nearly independent of
+shape.  This sweep measures both families across a depth-controlled
+corpus and records where the crossover sits::
+
+    python benchmarks/bench_crossover.py --quick
+    python benchmarks/bench_crossover.py --gate --record
+
+The depth axis holds the vertex budget fixed (``wide_layers`` with
+``width x depth = N``) and swings depth from a handful of huge levels to
+hundreds of narrow ones, bracketed by a shallow hub-mesh anchor
+(``star_mesh``) and two deep anchors (``path_graph``, ``skewed_tree``).
+Per case the sweep records the frontier engine's median wall and MTEPS,
+the hive-DFS per-run wall (a ``--batch``-wide lockstep batch's wall
+divided by its width — the cost a served query actually pays), and the
+backend the ``auto`` dispatch policy would pick for the graph.
+
+``--gate`` asserts the crossover exists and the router sits on the
+right side of both flagship cases:
+
+* on at least one shallow-regime case the frontier engine is >=
+  ``SPEEDUP_FLOOR`` (2x) faster than per-run hive-DFS, and ``auto``
+  picks frontier there;
+* on at least one deep-regime case DFS wins outright (speedup < 1),
+  and ``auto`` picks DFS on the deepest win.
+
+Mid-sweep cases where the frontier engine leads despite a ``deep``
+regime label are expected — the regime boundary is an asymptotic
+proxy, while at simulation scale the measured crossover sits near the
+path-graph end of the axis (see docs/PERFORMANCE.md).
+
+``--record`` appends the run to ``benchmarks/out/trajectory.jsonl``
+(kind ``crossover``); the micro sweep's ``BENCH_engine.json`` snapshot
+is untouched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import DiggerBeesConfig  # noqa: E402
+from repro.core.dispatch import choose_backend  # noqa: E402
+from repro.core.frontier import run_frontier  # noqa: E402
+from repro.core.hive import run_hive  # noqa: E402
+from repro.graphs import generators as gen  # noqa: E402
+
+#: Shallow-case frontier speedup the gate requires on >= 1 case.
+SPEEDUP_FLOOR = 2.0
+
+TRAJECTORY_PATH = REPO_ROOT / "benchmarks" / "out" / "trajectory.jsonl"
+
+#: Fixed vertex budget of the depth sweep (width x depth = N).
+SWEEP_N = 6000
+
+#: Depth axis: few huge levels -> hundreds of narrow ones.
+SWEEP_DEPTHS = (3, 6, 12, 30, 75, 150, 300)
+
+QUICK_DEPTHS = (3, 30, 300)
+
+
+def build_corpus(quick: bool) -> List:
+    """Depth-controlled sweep graphs plus the shallow/deep anchors."""
+    graphs = []
+    for depth in (QUICK_DEPTHS if quick else SWEEP_DEPTHS):
+        width = SWEEP_N // depth
+        graphs.append(gen.wide_layers(width, depth, seed=depth,
+                                      name=f"layers{width}x{depth}"))
+    graphs.append(gen.star_mesh(300, leaves_per_hub=19, seed=41,
+                                name="starmesh6000"))
+    graphs.append(gen.path_graph(SWEEP_N, name="path6000"))
+    # skew -> 1 keeps nearly every vertex on one spine: thousands of
+    # near-singleton BFS levels, the frontier engine's worst case.
+    graphs.append(gen.skewed_tree(SWEEP_N, skew=0.999, seed=43,
+                                  name="skew6000"))
+    return graphs
+
+
+def measure_case(graph, *, repeats: int, batch: int,
+                 config: DiggerBeesConfig) -> Dict:
+    """Both engine families on one graph; medians over ``repeats``."""
+    f_walls, d_walls = [], []
+    fres = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fres = run_frontier(graph, 0)
+        f_walls.append(time.perf_counter() - t0)
+    tasks = [(0, config)] * batch
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_hive(graph, tasks)
+        d_walls.append((time.perf_counter() - t0) / batch)
+    frontier_wall = statistics.median(f_walls)
+    dfs_wall = statistics.median(d_walls)
+    decision = choose_backend(graph, requested="auto")
+    auto_wall = (frontier_wall if decision.backend == "frontier"
+                 else dfs_wall)
+    return {
+        "name": graph.name,
+        "n_vertices": int(graph.n_vertices),
+        "n_levels": int(fres.n_levels),
+        "regime": decision.regime,
+        "frontier_wall_seconds": frontier_wall,
+        "frontier_mteps": (fres.edges_scanned / frontier_wall / 1e6
+                           if frontier_wall > 0 else 0.0),
+        "pushes": int(fres.pushes),
+        "pulls": int(fres.pulls),
+        "dfs_wall_seconds": dfs_wall,
+        "batch": batch,
+        # > 1 means the frontier engine is faster on this graph.
+        "speedup_frontier_over_dfs": (dfs_wall / frontier_wall
+                                      if frontier_wall > 0
+                                      else float("inf")),
+        "auto_backend": decision.backend,
+        "auto_wall_seconds": auto_wall,
+    }
+
+
+def run_sweep(*, quick: bool, repeats: int, batch: int) -> Dict:
+    config = DiggerBeesConfig(n_blocks=8, warps_per_block=4, seed=9)
+    cases = [measure_case(g, repeats=repeats, batch=batch, config=config)
+             for g in build_corpus(quick)]
+    return {
+        "bench": "crossover",
+        "quick": quick,
+        "repeats": repeats,
+        "batch": batch,
+        "sweep_n": SWEEP_N,
+        "cases": cases,
+    }
+
+
+def apply_gate(result: Dict) -> int:
+    """Assert the crossover exists and auto routes both sides of it."""
+    cases = result["cases"]
+    shallow = [c for c in cases if c["regime"] == "shallow"]
+    deep = [c for c in cases if c["regime"] == "deep"]
+    failures: List[str] = []
+    if not shallow or not deep:
+        failures.append(
+            f"corpus degenerated: {len(shallow)} shallow / {len(deep)} "
+            f"deep cases (need both regimes to bracket a crossover)")
+    best_shallow = max(shallow,
+                       key=lambda c: c["speedup_frontier_over_dfs"],
+                       default=None)
+    if best_shallow is not None:
+        if best_shallow["speedup_frontier_over_dfs"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"no shallow case reaches the {SPEEDUP_FLOOR:.0f}x "
+                f"frontier speedup floor (best: "
+                f"{best_shallow['name']} at "
+                f"{best_shallow['speedup_frontier_over_dfs']:.2f}x)")
+        elif best_shallow["auto_backend"] != "frontier":
+            failures.append(
+                f"auto routed {best_shallow['name']} to "
+                f"{best_shallow['auto_backend']} but the frontier engine "
+                f"measured {best_shallow['speedup_frontier_over_dfs']:.2f}x "
+                f"faster there")
+    best_deep = min(deep, key=lambda c: c["speedup_frontier_over_dfs"],
+                    default=None)
+    if best_deep is not None:
+        if best_deep["speedup_frontier_over_dfs"] >= 1.0:
+            failures.append(
+                f"DFS wins no deep case (closest: {best_deep['name']}, "
+                f"frontier still "
+                f"{best_deep['speedup_frontier_over_dfs']:.2f}x ahead) — "
+                f"no crossover to route around")
+        elif best_deep["auto_backend"] != "dfs":
+            failures.append(
+                f"auto routed {best_deep['name']} to "
+                f"{best_deep['auto_backend']} but DFS measured "
+                f"{1.0 / best_deep['speedup_frontier_over_dfs']:.2f}x "
+                f"faster there")
+    if failures:
+        for f in failures:
+            print(f"CROSSOVER GATE FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"gate: ok — frontier wins shallow "
+          f"({best_shallow['name']} "
+          f"{best_shallow['speedup_frontier_over_dfs']:.1f}x), DFS wins "
+          f"deep ({best_deep['name']} "
+          f"{1.0 / best_deep['speedup_frontier_over_dfs']:.1f}x), auto "
+          f"on the winner both times")
+    return 0
+
+
+def record_run(result: Dict) -> None:
+    TRAJECTORY_PATH.parent.mkdir(parents=True, exist_ok=True)
+    entry = dict(result)
+    entry["timestamp"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds")
+    with TRAJECTORY_PATH.open("a", encoding="utf-8") as f:
+        f.write(json.dumps(entry) + "\n")
+    print(f"recorded -> {TRAJECTORY_PATH}")
+
+
+def render(result: Dict) -> str:
+    lines = [f"{'case':<16s} {'n':>6s} {'levels':>6s} {'regime':<8s} "
+             f"{'frontier':>10s} {'dfs/run':>10s} {'speedup':>8s} "
+             f"{'auto':>8s}"]
+    for c in result["cases"]:
+        lines.append(
+            f"{c['name']:<16s} {c['n_vertices']:>6d} {c['n_levels']:>6d} "
+            f"{c['regime']:<8s} {c['frontier_wall_seconds']*1e3:>8.2f}ms "
+            f"{c['dfs_wall_seconds']*1e3:>8.2f}ms "
+            f"{c['speedup_frontier_over_dfs']:>7.2f}x "
+            f"{c['auto_backend']:>8s}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="BFS-vs-DFS crossover sweep over a depth-controlled "
+                    "corpus")
+    parser.add_argument("--quick", action="store_true",
+                        help="3-point depth axis, single repeat")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="per-case repeats; the median wall is kept")
+    parser.add_argument("--batch", type=int, default=32,
+                        help="hive lockstep width; DFS cost is per run "
+                             "(wide batches amortize the lockstep "
+                             "sweep, the daemon's steady-state shape)")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail unless frontier wins shallow >= "
+                             f"{SPEEDUP_FLOOR:.0f}x, DFS wins deep, and "
+                             "auto picks the winner on both")
+    parser.add_argument("--record", action="store_true",
+                        help="append to benchmarks/out/trajectory.jsonl")
+    parser.add_argument("--json", default=None,
+                        help="write the full result payload to this file")
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.quick else max(1, args.repeats)
+    result = run_sweep(quick=args.quick, repeats=repeats, batch=args.batch)
+    print(render(result))
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n")
+    if args.record:
+        record_run(result)
+    if args.gate:
+        return apply_gate(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,11 @@ real simulation.  Warmup-window responses are excluded from the stats.
 load phase — once bypassing the cache, once through it — and compares
 both served payloads against direct in-process execution; any drift is
 a hard failure (the load test must never trade correctness for rate).
+Verification is backend-aware: it reads the daemon's ``backend`` knob
+from ``status`` and resolves each query through the same
+:func:`repro.core.dispatch.choose_backend` policy, so the direct
+payload is computed by whichever engine family actually served it.
+``--backend {auto,dfs,frontier}`` sets that knob on ``--self`` daemons.
 ``--record`` appends the run to ``benchmarks/out/trajectory.jsonl``
 (kind ``serve``); ``--gate`` compares against
 ``benchmarks/baseline_serve.json`` and fails on a p99 regression
@@ -196,14 +201,17 @@ def _histogram(lat_ms: List[float]) -> Dict[str, int]:
 # Verification phase.
 # ---------------------------------------------------------------------------
 
-async def verify_mix(client, mix, graphs) -> int:
+async def verify_mix(client, mix, graphs, backend_knob: str = "dfs") -> int:
     """Compare served payloads to direct execution; returns #mismatches.
 
     Every distinct (graph, root, config) is checked twice: once with
     ``no_cache`` (forcing a fresh daemon-side computation) and once
     through the cache — both must equal the payload computed directly
-    in this process.
+    in this process.  ``backend_knob`` is the daemon's configured
+    backend; the expected payload is resolved through the same routing
+    policy, so the check is bit-exact whichever engine family answered.
     """
+    from repro.core.dispatch import choose_backend
     from repro.serve.exec import execute_query
 
     distinct = sorted({(name, root, json.dumps(cfg, sort_keys=True))
@@ -211,7 +219,10 @@ async def verify_mix(client, mix, graphs) -> int:
     bad = 0
     for name, root, cfg_json in distinct:
         config = json.loads(cfg_json)
-        expected = execute_query(graphs[name], "dfs", root, config)
+        decision = choose_backend(graphs[name], requested=backend_knob,
+                                  overrides=config)
+        expected = execute_query(graphs[name], "dfs", root, config,
+                                 backend=decision.backend)
         for no_cache in (True, False):
             resp = await client.dfs(name, root, config=config,
                                     no_cache=no_cache)
@@ -294,7 +305,7 @@ async def amain(args) -> int:
         corpus = load_corpus(args.corpus, share=args.jobs > 0)
         server = ServeServer(corpus, ServeConfig(
             batch_window=args.window, max_batch=args.max_batch,
-            jobs=args.jobs, cache_dir="off"))
+            jobs=args.jobs, cache_dir="off", backend=args.backend))
         socket_path = os.path.join(
             tempfile.mkdtemp(prefix="repro-bench-serve-"), "bench.sock")
         await server.start(socket_path)
@@ -336,6 +347,7 @@ async def amain(args) -> int:
             "roots_per_graph": args.roots_per_graph,
             "seed": args.seed,
             "self_hosted": bool(args.self),
+            "backend": args.backend,
         })
         print(f"sustained {result['throughput_qps']:.0f} q/s | "
               f"p50 {result['p50_ms']:.2f}ms  p90 {result['p90_ms']:.2f}ms "
@@ -352,7 +364,10 @@ async def amain(args) -> int:
 
                 local = load_corpus(args.corpus, share=False)
                 graphs = {n: local.get(n).graph for n in graph_names}
-            mismatches = await verify_mix(clients[0], mix, graphs)
+            status = await clients[0].status()
+            backend_knob = status.get("config", {}).get("backend", "dfs")
+            mismatches = await verify_mix(clients[0], mix, graphs,
+                                          backend_knob)
             result["verify_mismatches"] = mismatches
             if mismatches:
                 rc = 1
@@ -409,6 +424,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-batch", type=int, default=64)
     p.add_argument("--jobs", type=int, default=0,
                    help="daemon worker processes for --self")
+    p.add_argument("--backend", default="dfs",
+                   choices=("auto", "dfs", "frontier"),
+                   help="backend knob for --self daemons (external "
+                        "daemons keep their own; --verify always reads "
+                        "the effective knob from status)")
     p.add_argument("--verify", action="store_true",
                    help="check every distinct query against direct "
                         "execution after the load phase")

@@ -1,10 +1,11 @@
 """Fixed engine micro-sweep with machine-readable output.
 
-``python -m repro.bench micro`` runs six fixed DiggerBees simulations
+``python -m repro.bench micro`` runs eight fixed DiggerBees simulations
 (two road networks, a preferential-attachment graph, a Delaunay mesh,
-and two steal-heavy cases — a deep skewed tree and a hub-rooted
-power-law graph on tight stack geometry — the structural regimes that
-stress different engine paths), and writes ``BENCH_engine.json`` with
+two steal-heavy cases — a deep skewed tree and a hub-rooted power-law
+graph on tight stack geometry — and two shallow-wide cases — a hub
+mesh and a layered fan-out — the structural regimes that stress
+different engine paths), and writes ``BENCH_engine.json`` with
 wall-time, simulated cycles, steps/sec, and steal/refill event counts
 per case.  That file seeds the performance trajectory: future perf PRs
 compare against the recorded baseline
@@ -27,7 +28,14 @@ cache pays generation cost; the hit/miss tally is part of the payload.
 
 ``--turbo`` runs every case through the turbo fused loop
 (:mod:`repro.core.turbo`); cycles/steps are bit-identical to the default
-engine, so the same baseline gates both modes.  ``--record`` appends the
+engine, so the same baseline gates both modes.  ``--backend
+{auto,dfs,frontier}`` selects the engine *family*: ``frontier`` runs
+every case through the bit-packed SpMV engine
+(:mod:`repro.core.frontier`), recording MTEPS and the level profile
+instead of simulated cycles; ``auto`` routes each case per graph regime
+through :func:`repro.core.dispatch.choose_backend` (frontier-run cases
+are exempt from the cycles/wall baseline gate — they have no simulated
+schedule; DFS-run cases stay gated).  ``--record`` appends the
 run to ``benchmarks/out/trajectory.jsonl`` (timestamped) and rewrites
 the repo-root ``BENCH_engine.json`` snapshot.
 
@@ -112,6 +120,19 @@ MICRO_CASES: Tuple[Tuple[str, Callable, DiggerBeesConfig], ...] = (
      DiggerBeesConfig(n_blocks=8, warps_per_block=4, hot_size=16,
                       hot_cutoff=4, cold_cutoff=8, flush_batch=4,
                       refill_batch=4, cold_reserve=64, seed=6)),
+    # Shallow-wide regime: the frontier engine's winning shape (few BFS
+    # levels, huge frontiers).  starmesh2400 is a hub mesh with pendant
+    # leaves; layers2000 is a root feeding five 400-wide layers.  The
+    # DFS engines run them too, so --backend can compare both families
+    # on the same cases.
+    ("starmesh2400",
+     _corpus_case("star_mesh", "starmesh2400",
+                  {"n_hubs": 120, "leaves_per_hub": 19}, 7),
+     DiggerBeesConfig(n_blocks=8, warps_per_block=4, seed=7)),
+    ("layers2000",
+     _corpus_case("wide_layers", "layers2000",
+                  {"width": 400, "depth": 5}, 8),
+     DiggerBeesConfig(n_blocks=8, warps_per_block=4, seed=8)),
 )
 
 
@@ -133,7 +154,8 @@ def _case_events(counters) -> Dict:
 def run_micro(repeats: int = 3,
               profile_path: Optional[str] = None,
               turbo: bool = False,
-              batch: int = 0) -> Dict:
+              batch: int = 0,
+              backend: str = "dfs") -> Dict:
     """Run the fixed micro-sweep; returns the ``BENCH_engine.json`` payload.
 
     Per case: median-of-``repeats`` wall time, plus the (deterministic)
@@ -148,6 +170,12 @@ def run_micro(repeats: int = 3,
     sweep actually pays — and cycles/steps are asserted identical
     across replicas, so the same baseline gates all three modes.
 
+    ``backend`` picks the engine family per case: ``"dfs"`` (default)
+    is the simulation sweep above; ``"frontier"`` runs every case on
+    the bit-packed SpMV engine (wall + MTEPS + level profile, no
+    simulated cycles); ``"auto"`` routes per graph regime through
+    :func:`repro.core.dispatch.choose_backend`.
+
     The ``phases.simulate`` entry accumulates the per-case *median*
     wall, the same statistic ``wall_seconds`` reports, so it equals
     ``total_wall_seconds`` instead of summing every repeat.
@@ -156,6 +184,14 @@ def run_micro(repeats: int = 3,
         raise BenchmarkError(
             "--batch selects the hive engine; it cannot be combined "
             "with --turbo"
+        )
+    if backend not in ("auto", "dfs", "frontier"):
+        raise BenchmarkError(
+            f"backend must be auto, dfs, or frontier, got {backend!r}")
+    if backend != "dfs" and (turbo or batch):
+        raise BenchmarkError(
+            "--backend frontier/auto selects the engine family; it "
+            "cannot be combined with --turbo or --batch"
         )
     timer = PhaseTimer()
     cases: List[Dict] = []
@@ -169,6 +205,42 @@ def run_micro(repeats: int = 3,
             walls: List[float] = []
             result = None
             hive_stats: Optional[Dict] = None
+            use_frontier = backend == "frontier"
+            if backend == "auto":
+                from repro.core.dispatch import choose_backend
+
+                use_frontier = (choose_backend(graph, requested="auto")
+                                .backend == "frontier")
+            if use_frontier:
+                from repro.core.frontier import run_frontier
+
+                fres = None
+                for _ in range(max(1, repeats)):
+                    t0 = time.perf_counter()
+                    fres = run_frontier(graph, 0)
+                    walls.append(time.perf_counter() - t0)
+                wall = statistics.median(walls)
+                timer.add("simulate", wall)
+                cases.append({
+                    "name": name,
+                    "backend": "frontier",
+                    "wall_seconds": wall,
+                    # No simulated schedule: the frontier engine is a
+                    # real traversal, so its figure of merit is MTEPS.
+                    "cycles": None,
+                    "steps": None,
+                    "steps_per_second": None,
+                    "exact_cycles": True,
+                    "mteps": (fres.edges_scanned / wall / 1e6
+                              if wall > 0 else 0.0),
+                    "edges_scanned": fres.edges_scanned,
+                    "n_levels": fres.n_levels,
+                    "pushes": fres.pushes,
+                    "pulls": fres.pulls,
+                    "events": None,
+                    "fallback_lane_fraction": None,
+                })
+                continue
             if batch > 0:
                 from repro.core.hive import run_hive
 
@@ -197,6 +269,7 @@ def run_micro(repeats: int = 3,
             timer.add("simulate", wall)
             cases.append({
                 "name": name,
+                "backend": "dfs",
                 "wall_seconds": wall,
                 "cycles": result.cycles,
                 "steps": result.engine.steps,
@@ -213,6 +286,7 @@ def run_micro(repeats: int = 3,
         "repeats": repeats,
         "turbo": turbo,
         "batch": batch,
+        "backend": backend,
         "cases": cases,
         "total_wall_seconds": sum(c["wall_seconds"] for c in cases),
         "phases": timer.as_dict(),
@@ -253,6 +327,11 @@ def check_against_baseline(result: Dict, baseline: Dict,
     for case in result["cases"]:
         base = base_cases.get(case["name"])
         if base is None:
+            continue
+        if case.get("backend", "dfs") != "dfs":
+            # Frontier-run cases carry no simulated schedule and their
+            # wall measures a different engine; the DFS baseline does
+            # not apply.
             continue
         if case["cycles"] != base["cycles"] or case["steps"] != base["steps"]:
             problems.append(
@@ -304,6 +383,8 @@ def _mode_tag(entry: Dict) -> str:
         return "turbo"
     if entry.get("batch"):
         return f"hive:{entry['batch']}"
+    if entry.get("backend", "dfs") != "dfs":
+        return entry["backend"]
     return "scalar"
 
 
@@ -344,6 +425,14 @@ def compare_trajectory(a_idx: int, b_idx: int,
     flagged = 0
     for cb in eb.get("cases", []):
         ca = a_cases.get(cb["name"])
+        if (cb.get("backend", "dfs") != "dfs"
+                or (ca is not None and ca.get("backend", "dfs") != "dfs")):
+            # Frontier rows have no steps/s; cross-family wall diffs
+            # belong to the crossover bench, not this table.
+            lines.append(f"{cb['name']:<10s}   [{cb.get('backend', 'dfs')}] "
+                         f"wall {cb['wall_seconds']:.4f}s — "
+                         f"not comparable across engine families")
+            continue
         if ca is None:
             lines.append(f"{cb['name']:<10s} {'—':>9s} "
                          f"{cb['wall_seconds']:9.4f} {'—':>10s} "
@@ -378,11 +467,20 @@ def render(result: Dict) -> str:
     mode = " [turbo]" if result.get("turbo") else ""
     if result.get("batch"):
         mode = f" [hive batch={result['batch']}]"
-    lines = [f"{'case':<10s} {'wall(s)':>9s} {'cycles':>10s} {'steps':>7s} "
+    if result.get("backend", "dfs") != "dfs":
+        mode = f" [backend={result['backend']}]"
+    lines = [f"{'case':<12s} {'wall(s)':>9s} {'cycles':>10s} {'steps':>7s} "
              f"{'steps/s':>10s}{mode}"]
     for c in result["cases"]:
+        if c.get("backend", "dfs") == "frontier":
+            lines.append(
+                f"{c['name']:<12s} {c['wall_seconds']:9.4f} "
+                f"{'frontier':>10s} {c['n_levels']:>5d}L "
+                f"{c['mteps']:>8.1f} MTEPS"
+            )
+            continue
         lines.append(
-            f"{c['name']:<10s} {c['wall_seconds']:9.4f} {c['cycles']:>10d} "
+            f"{c['name']:<12s} {c['wall_seconds']:9.4f} {c['cycles']:>10d} "
             f"{c['steps']:>7d} {c['steps_per_second']:>10.0f}"
         )
     lines.append(f"total wall: {result['total_wall_seconds']:.4f}s "
@@ -408,6 +506,13 @@ def main(argv=None) -> int:
                         help="run every case as N lockstep replicas on "
                              "the hive engine (bit-identical "
                              "cycles/steps; wall time is per run)")
+    parser.add_argument("--backend", default="dfs",
+                        choices=("auto", "dfs", "frontier"),
+                        help="engine family: frontier runs the "
+                             "bit-packed SpMV engine (MTEPS, no "
+                             "simulated cycles); auto routes per graph "
+                             "regime; frontier-run cases skip the "
+                             "cycles/wall baseline gate")
     parser.add_argument("--compare", nargs=2, type=int, metavar=("A", "B"),
                         default=None,
                         help="diff two recorded trajectory entries by "
@@ -439,11 +544,15 @@ def main(argv=None) -> int:
         return 0
     if args.turbo and args.batch:
         parser.error("--batch selects the hive engine; drop --turbo")
+    if args.backend != "dfs" and (args.turbo or args.batch):
+        parser.error("--backend frontier/auto cannot combine with "
+                     "--turbo/--batch")
 
     result = run_micro(repeats=1 if args.quick else 3,
                        profile_path=args.profile,
                        turbo=args.turbo,
-                       batch=args.batch)
+                       batch=args.batch,
+                       backend=args.backend)
     args.json.write_text(json.dumps(result, indent=1) + "\n")
     print(render(result))
     print(f"[wrote {args.json}]")

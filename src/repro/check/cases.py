@@ -41,6 +41,8 @@ FAMILIES = (
     "preferential_attachment",
     "small_world",
     "rmat",
+    "star_mesh",
+    "wide_layers",
 )
 
 
@@ -99,6 +101,12 @@ class FuzzCase:
         if self.family == "rmat":
             # rmat takes a log2 scale: 2**scale vertices close to n.
             return gen.rmat(max(4, n.bit_length() - 1), edge_factor=6, seed=s)
+        if self.family == "star_mesh":
+            # hubs * (1 + leaves) vertices close to n.
+            return gen.star_mesh(max(2, n // 12), leaves_per_hub=11, seed=s)
+        if self.family == "wide_layers":
+            # 1 + width * depth vertices close to n.
+            return gen.wide_layers(max(2, n // 5), 5, seed=s)
         raise ValueError(f"unknown fuzz family {self.family!r}")
 
     def build_config(self, **overrides) -> DiggerBeesConfig:

@@ -4,12 +4,12 @@ Subcommands::
 
     python -m repro.check fuzz [--cases N | --smoke | --seconds S]
                                [--start-seed K] [--stress] [--turbo]
-                               [--hive] [--no-shrink]
+                               [--hive] [--frontier] [--no-shrink]
     python -m repro.check repro <seed> [--stress] [--turbo] [--hive]
-                                       [--mutation NAME]
+                                       [--frontier] [--mutation NAME]
     python -m repro.check repro --case '<json>' [--mutation NAME]
     python -m repro.check mutants [--names a,b] [--budget N] [--turbo]
-                                  [--hive]
+                                  [--hive] [--frontier]
 
 ``fuzz`` samples seed-derived cases and runs each through the oracle
 ladder, shrinking the first failure and exiting non-zero with a one-line
@@ -61,7 +61,8 @@ def cmd_fuzz(args) -> int:
             break
         case = case_from_seed(seed, stress=args.stress)
         failure = check_case(case, stress=args.stress, turbo=args.turbo,
-                             hive=args.hive, serve=args.serve)
+                             hive=args.hive, serve=args.serve,
+                             frontier=args.frontier)
         ran += 1
         if failure is not None:
             _echo(failure.report())
@@ -94,7 +95,8 @@ def cmd_repro(args) -> int:
         return 2
     _echo(f"case: {case.describe()}")
     failure = check_case(case, mutation=args.mutation, stress=args.stress,
-                         turbo=args.turbo, hive=args.hive, serve=args.serve)
+                         turbo=args.turbo, hive=args.hive, serve=args.serve,
+                         frontier=args.frontier)
     if failure is None:
         _echo("PASS: all oracle stages agree")
         return 0
@@ -110,7 +112,8 @@ def run_mutant(name: str, *, budget: int = MUTANT_CASE_BUDGET,
                start_seed: int = 0,
                turbo: bool = False,
                hive: bool = False,
-               serve: bool = False) -> Optional[CheckFailure]:
+               serve: bool = False,
+               frontier: bool = False) -> Optional[CheckFailure]:
     """Fuzz one mutation with stress cases; return its first detection.
 
     ``turbo=True`` runs the primary pass under the fused turbo loop;
@@ -125,7 +128,7 @@ def run_mutant(name: str, *, budget: int = MUTANT_CASE_BUDGET,
         if turbo or hive:
             case = case.with_(perturb_seed=None, jitter=0)
         failure = check_case(case, mutation=name, stress=True, turbo=turbo,
-                             hive=hive, serve=serve)
+                             hive=hive, serve=serve, frontier=frontier)
         if failure is not None:
             return failure
     return None
@@ -141,7 +144,8 @@ def cmd_mutants(args) -> int:
             return 2
         t0 = time.monotonic()
         failure = run_mutant(name, budget=args.budget, turbo=args.turbo,
-                             hive=args.hive, serve=args.serve)
+                             hive=args.hive, serve=args.serve,
+                             frontier=args.frontier)
         dt = time.monotonic() - t0
         if failure is None:
             missed.append(name)
@@ -190,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="add the serve differential rung: every "
                            "case's DFS is also run through a live "
                            "repro.serve daemon and must match exactly")
+    fuzz.add_argument("--frontier", action="store_true",
+                      help="add the frontier differential rung: the "
+                           "bit-packed SpMV engine must match the DFS "
+                           "on reachability and its own level/parent "
+                           "contract on every case")
     fuzz.add_argument("--verbose", action="store_true")
     fuzz.set_defaults(func=cmd_fuzz)
 
@@ -205,6 +214,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "rung")
     repro.add_argument("--serve", action="store_true",
                        help="add the serve differential rung")
+    repro.add_argument("--frontier", action="store_true",
+                       help="add the frontier differential rung")
     repro.add_argument("--mutation", type=str, default=None,
                        choices=sorted(MUTATIONS))
     repro.set_defaults(func=cmd_repro)
@@ -225,6 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run every mutant with the serve "
                               "differential rung active (injected bugs "
                               "must be caught through the served path)")
+    mutants.add_argument("--frontier", action="store_true",
+                         help="run every mutant with the frontier "
+                              "differential rung active (injected DFS "
+                              "bugs must still be caught with the "
+                              "frontier oracle in the ladder)")
     mutants.add_argument("--verbose", action="store_true")
     mutants.set_defaults(func=cmd_mutants)
     return parser

@@ -34,6 +34,12 @@ fixed oracle ladder and reports the first failure (or None):
    canonical payload of the primary result, and — for unmutated runs —
    the repeat query must come back from the result cache, still
    identical;
+5e. **frontier differential** (opt-in via ``frontier=True``) — run the
+   bit-packed SpMV engine (:mod:`repro.core.frontier`) on the same
+   graph; its visited set must equal the DFS's, its level array must
+   equal :func:`~repro.graphs.properties.bfs_levels`, its parent array
+   must equal the independent min-parent oracle, and forced push/pull
+   runs must be bit-identical to the auto-switched one;
 6. **scheduler differential** — heap vs calendar-queue rerun must agree
    exactly (skipped under perturbation, which bypasses both);
 7. **PDFS baseline differential** — CKL-PDFS reachability on the same
@@ -79,6 +85,7 @@ class CheckFailure:
     turbo: bool = False
     hive: bool = False
     serve: bool = False
+    frontier: bool = False
 
     @property
     def repro_command(self) -> str:
@@ -97,6 +104,8 @@ class CheckFailure:
             cmd += " --hive"
         if self.serve:
             cmd += " --serve"
+        if self.frontier:
+            cmd += " --frontier"
         if self.mutation:
             cmd += f" --mutation {self.mutation}"
         return cmd
@@ -163,6 +172,7 @@ def run_monitored(case: FuzzCase, *, check_every: int = 64,
 def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                stress: bool = False, turbo: bool = False,
                hive: bool = False, serve: bool = False,
+               frontier: bool = False,
                check_every: Optional[int] = None) -> Optional[CheckFailure]:
     """Run the full oracle ladder on ``case``; None means it passed.
 
@@ -188,6 +198,12 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
     daemon's result cache so an injected bug's output is never memoized
     across the mutation boundary.
 
+    ``frontier`` adds the frontier differential rung: the bit-packed
+    SpMV engine traverses the same graph and must agree with the DFS on
+    reachability, with :func:`~repro.graphs.properties.bfs_levels` on
+    level structure, and with the independent min-parent oracle on the
+    tree — and its push/pull/auto modes must be bit-identical.
+
     ``check_every`` defaults to a per-step sweep (1) in stress mode —
     transient corruption (e.g. an ABA duplicate that the victim pops a
     step later) is only visible to a sweep that runs before the next
@@ -199,7 +215,7 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
     def fail(stage: str, message: str) -> CheckFailure:
         return CheckFailure(case=case, stage=stage, message=str(message),
                             mutation=mutation, stress=stress, turbo=turbo,
-                            hive=hive, serve=serve)
+                            hive=hive, serve=serve, frontier=frontier)
 
     with apply_mutation(mutation):
         # Stage 1: monitored run (invariant hooks + periodic sweep).
@@ -410,6 +426,70 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                     return fail("serve-diff",
                                 f"cached payload diverges from direct "
                                 f"execution: {mismatch}")
+
+        # Stage 5e: frontier differential — the bit-packed SpMV engine
+        # traverses the same graph; every piece of its result contract
+        # is pinned against an independent reference: reachability
+        # against the DFS result, levels against bfs_levels, the tree
+        # against the min-parent oracle (shares no code with the
+        # per-level gathers), and mode bit-identity across push/pull.
+        if frontier:
+            from repro.core.frontier import (
+                FrontierConfig,
+                min_parent_tree,
+                run_frontier,
+            )
+            from repro.graphs.properties import bfs_levels
+
+            try:
+                fr = run_frontier(graph, case.root)
+                validate_traversal(graph, fr.traversal)
+            except ReproError as exc:
+                return fail("frontier-diff", f"{type(exc).__name__}: {exc}")
+            if not np.array_equal(fr.traversal.visited,
+                                  result.traversal.visited):
+                missing = np.flatnonzero(result.traversal.visited
+                                         & ~fr.traversal.visited)
+                extra = np.flatnonzero(~result.traversal.visited
+                                       & fr.traversal.visited)
+                return fail(
+                    "frontier-diff",
+                    f"visited set differs from DFS: {missing.size} missing "
+                    f"(e.g. {missing[:5].tolist()}), {extra.size} extra "
+                    f"(e.g. {extra[:5].tolist()})")
+            ref_levels = bfs_levels(graph, case.root)
+            if not np.array_equal(fr.level, ref_levels):
+                diff = np.flatnonzero(fr.level != ref_levels)
+                return fail(
+                    "frontier-diff",
+                    f"level array diverges from bfs_levels at {diff.size} "
+                    f"vertices (e.g. {diff[:5].tolist()})")
+            if not graph.directed:
+                # The min-parent oracle and the pull path both read each
+                # vertex's own row as in-edges — symmetric CSR only.
+                oracle = min_parent_tree(graph, ref_levels, case.root)
+                if not np.array_equal(fr.traversal.parent, oracle):
+                    diff = np.flatnonzero(fr.traversal.parent != oracle)
+                    return fail(
+                        "frontier-diff",
+                        f"parent diverges from the min-parent oracle at "
+                        f"{diff.size} vertices (e.g. {diff[:5].tolist()})")
+                for forced in ("push", "pull"):
+                    try:
+                        alt = run_frontier(
+                            graph, case.root,
+                            config=FrontierConfig(mode=forced))
+                    except ReproError as exc:
+                        return fail("frontier-diff",
+                                    f"{forced} mode: "
+                                    f"{type(exc).__name__}: {exc}")
+                    if not (np.array_equal(alt.traversal.parent,
+                                           fr.traversal.parent)
+                            and np.array_equal(alt.level, fr.level)):
+                        return fail(
+                            "frontier-diff",
+                            f"forced {forced} mode diverges from auto "
+                            f"(modes promise bit-identical results)")
 
         # Stage 6: scheduler differential (heap vs calendar queue).
         # Perturbed runs use the dedicated perturbation loop, which

@@ -85,7 +85,8 @@ def shrink_case(
             evals += 1
             result = check_case(candidate, mutation=failure.mutation,
                                 stress=failure.stress, turbo=failure.turbo,
-                                hive=failure.hive, serve=failure.serve)
+                                hive=failure.hive, serve=failure.serve,
+                                frontier=failure.frontier)
             if result is not None:
                 current = candidate
                 best = result

@@ -1,0 +1,109 @@
+"""Bit-packed vertex sets over ``uint64`` words (the frontier engine's
+working representation).
+
+A set over ``n`` vertices is ``ceil(n / 64)`` little-endian ``uint64``
+words: vertex ``v`` lives at bit ``v & 63`` of word ``v >> 6``.  This is
+the layout GPU BFS codes keep in registers/shared memory for frontier
+and visited bitmaps; here it buys the same thing in NumPy — set algebra
+(`or`, `and-not`), membership tests, and population counts run over
+``n / 64`` machine words instead of ``n`` bools.
+
+All helpers are pure functions except :func:`set_bits`, which mutates in
+place (the engine reuses its visited words across levels).  The packed
+layout is byte-order independent: :func:`pack_bits`/:func:`unpack_bits`
+normalize through little-endian byte views, so a set packed on any host
+tests identically with the shift-based helpers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "n_words",
+    "empty_bitset",
+    "pack_bits",
+    "unpack_bits",
+    "set_bits",
+    "test_bits",
+    "popcount",
+    "nonzero_bits",
+]
+
+WORD_BITS = 64
+
+_SWAP = sys.byteorder != "little"
+
+#: Per-byte population counts (popcount via one gather + sum).
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)],
+                      dtype=np.uint16)
+
+
+def n_words(n_bits: int) -> int:
+    """Words needed for a set over ``n_bits`` elements."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be >= 0, got {n_bits}")
+    return (int(n_bits) + WORD_BITS - 1) // WORD_BITS
+
+
+def empty_bitset(n_bits: int) -> np.ndarray:
+    """All-zeros set over ``n_bits`` elements."""
+    return np.zeros(n_words(n_bits), dtype=np.uint64)
+
+
+def pack_bits(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean vector into ``uint64`` words (little-endian bits)."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 1:
+        raise ValueError(f"pack_bits needs a 1-d mask, got shape {mask.shape}")
+    words = n_words(mask.size)
+    packed = np.packbits(mask, bitorder="little")
+    out = np.zeros(words * 8, dtype=np.uint8)
+    out[:packed.size] = packed
+    out = out.view(np.uint64)
+    return out.byteswap() if _SWAP else out
+
+
+def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: the first ``n_bits`` as a bool vector."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if n_bits > words.size * WORD_BITS:
+        raise ValueError(
+            f"bitset of {words.size} words holds {words.size * WORD_BITS} "
+            f"bits, asked for {n_bits}")
+    if _SWAP:
+        words = words.byteswap()
+    return np.unpackbits(words.view(np.uint8),
+                         bitorder="little")[:n_bits].astype(bool)
+
+
+def set_bits(words: np.ndarray, idx: np.ndarray) -> None:
+    """Set the bits named by ``idx`` in place (duplicates are fine)."""
+    idx = np.asarray(idx, dtype=np.int64)
+    if idx.size == 0:
+        return
+    np.bitwise_or.at(words, idx >> 6,
+                     np.left_shift(np.uint64(1),
+                                   (idx & 63).astype(np.uint64)))
+
+
+def test_bits(words: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Membership mask for the vertices named by ``idx``."""
+    idx = np.asarray(idx, dtype=np.int64)
+    shifted = np.right_shift(words[idx >> 6],
+                             (idx & 63).astype(np.uint64))
+    return (shifted & np.uint64(1)).astype(bool)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    return int(_POPCOUNT8[words.view(np.uint8)].sum())
+
+
+def nonzero_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Ascending indices of the set bits among the first ``n_bits``."""
+    return np.flatnonzero(unpack_bits(words, n_bits)).astype(np.int64)

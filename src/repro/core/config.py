@@ -326,6 +326,16 @@ class ServeConfig:
     drain_timeout:
         Seconds a clean shutdown waits for in-flight batches before
         abandoning them.
+    backend:
+        Traversal backend for DFS queries: ``"dfs"`` (default) answers
+        every query with the DFS simulation tiers exactly as before;
+        ``"frontier"`` forces the bit-packed frontier engine
+        (:mod:`repro.core.frontier`); ``"auto"`` routes per graph shape
+        through :func:`repro.core.dispatch.choose_backend` — shallow
+        graphs go to the frontier engine, deep/mid graphs and any query
+        carrying engine-config overrides stay on DFS.  Routing is a
+        deterministic function of the graph fingerprint and the query,
+        and the resolved backend is part of the result-cache key.
     """
 
     batch_window: float = 0.005
@@ -334,6 +344,7 @@ class ServeConfig:
     cache_entries: int = 4096
     cache_dir: Optional[str] = None
     drain_timeout: float = 10.0
+    backend: str = "dfs"
 
     def __post_init__(self) -> None:
         if self.batch_window < 0:
@@ -350,6 +361,12 @@ class ServeConfig:
         if self.drain_timeout < 0:
             raise SimulationError(
                 f"drain_timeout must be >= 0, got {self.drain_timeout}")
+        from repro.core.dispatch import BACKEND_CHOICES
+
+        if self.backend not in BACKEND_CHOICES:
+            raise SimulationError(
+                f"backend must be one of {BACKEND_CHOICES}, "
+                f"got {self.backend!r}")
 
     def with_(self, **kwargs) -> "ServeConfig":
         return replace(self, **kwargs)

@@ -1,0 +1,91 @@
+"""Backend dispatch: the paper's BFS/DFS crossover, productionized.
+
+The crossover analysis says level-synchronous BFS wins on shallow-wide
+graphs (few levels, huge frontiers) and collapses on deep ones (every
+level pays a launch, and there are thousands); hierarchical work-
+stealing DFS is the mirror image.  :func:`choose_backend` turns that
+into a routing policy over the two engine families this repo actually
+has — the DFS simulation tiers (``"dfs"``: fastpath/turbo/hive) and the
+bit-packed frontier engine (``"frontier"``,
+:mod:`repro.core.frontier`) — keyed on the structural regime from
+:func:`repro.graphs.properties.classify_regime`.
+
+Routing rules, in order:
+
+1. an explicit ``requested`` backend (``"dfs"``/``"frontier"``) wins;
+2. under ``"auto"``, a query that carries engine-config overrides is
+   pinned to ``"dfs"`` — a client that parameterizes grid shape, steal
+   cutoffs, or schedule perturbation is asking for a specific DFS
+   *simulation* (cycles, counters and all), which the frontier engine
+   cannot answer;
+3. otherwise shallow graphs go to the frontier engine and deep/mid
+   graphs to DFS.
+
+Decisions are pure functions of ``(regime, requested, overrides)``, so
+a resolved backend is stable per graph fingerprint — the serve layer
+caches the regime per resident graph and bakes the resolved backend
+into result-cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.errors import SimulationError
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["BACKENDS", "BACKEND_CHOICES", "BackendDecision",
+           "choose_backend", "graph_regime"]
+
+#: Engine families a query can resolve to.
+BACKENDS = ("dfs", "frontier")
+
+#: Valid values for the ``ServeConfig.backend`` knob / ``--backend`` flags.
+BACKEND_CHOICES = ("auto",) + BACKENDS
+
+
+@dataclass(frozen=True)
+class BackendDecision:
+    """One routing decision and why it was made."""
+
+    backend: str      # "dfs" | "frontier"
+    regime: str       # "deep" | "mid" | "shallow" | "unknown"
+    reason: str       # "forced" | "config-pinned" | "regime"
+
+
+def graph_regime(graph: CSRGraph, root: int = 0) -> str:
+    """Structural regime of ``graph`` (one BFS; cache per fingerprint)."""
+    from repro.graphs.properties import regime
+
+    return regime(graph, root)
+
+
+def choose_backend(graph: Optional[CSRGraph] = None, *,
+                   requested: str = "auto",
+                   overrides: Optional[Mapping[str, Any]] = None,
+                   regime: Optional[str] = None) -> BackendDecision:
+    """Resolve the backend for one traversal query.
+
+    ``regime`` short-circuits the BFS probe when the caller already
+    profiled the graph (the serve layer memoizes it per resident
+    entry); otherwise ``graph`` is profiled on the spot.
+    """
+    if requested not in BACKEND_CHOICES:
+        raise SimulationError(
+            f"backend must be one of {BACKEND_CHOICES}, got {requested!r}")
+    if requested != "auto":
+        return BackendDecision(backend=requested,
+                               regime=regime or "unknown",
+                               reason="forced")
+    if overrides:
+        return BackendDecision(backend="dfs",
+                               regime=regime or "unknown",
+                               reason="config-pinned")
+    if regime is None:
+        if graph is None:
+            raise SimulationError(
+                "auto dispatch needs a graph or a precomputed regime")
+        regime = graph_regime(graph)
+    backend = "frontier" if regime == "shallow" else "dfs"
+    return BackendDecision(backend=backend, regime=regime, reason="regime")

@@ -45,6 +45,8 @@ __all__ = [
     "preferential_attachment",
     "skewed_tree",
     "small_world",
+    "star_mesh",
+    "wide_layers",
     "rmat",
     "web_copy_model",
     "citation_graph",
@@ -440,6 +442,89 @@ def small_world(
     return from_edges(n_vertices, both, dedupe=True, drop_self_loops=True,
                       name=name or f"ws{n_vertices}",
                       meta={"family": "smallworld", "group": "snap"})
+
+
+def star_mesh(
+    n_hubs: int,
+    leaves_per_hub: int = 16,
+    *,
+    chord_factor: float = 1.0,
+    seed: RngLike = None,
+    name: str = "",
+) -> CSRGraph:
+    """Hub mesh with pendant leaves: the frontier engine's home turf.
+
+    ``n_hubs`` hubs form a ring plus ``chord_factor * n_hubs`` random
+    chords (a small-diameter core); each hub carries
+    ``leaves_per_hub`` degree-1 leaves.  BFS finishes in
+    ~``2 + O(log n_hubs)`` levels with one huge leaf frontier, while a
+    DFS has no depth to exploit — the extreme shallow-wide regime the
+    paper's crossover analysis assigns to level-synchronous methods.
+    Total vertices: ``n_hubs * (1 + leaves_per_hub)``.
+    """
+    _require(n_hubs >= 2, f"star_mesh needs >= 2 hubs, got {n_hubs}")
+    _require(leaves_per_hub >= 0,
+             f"leaves_per_hub must be >= 0, got {leaves_per_hub}")
+    _require(chord_factor >= 0.0,
+             f"chord_factor must be >= 0, got {chord_factor}")
+    rng = make_rng(seed)
+    hubs = np.arange(n_hubs, dtype=np.int64)
+    ring = np.column_stack([hubs, (hubs + 1) % n_hubs])
+    n_chords = int(round(chord_factor * n_hubs))
+    chords = rng.integers(0, n_hubs, size=(n_chords, 2)).astype(np.int64)
+    leaves = np.arange(n_hubs, n_hubs * (1 + leaves_per_hub),
+                       dtype=np.int64)
+    hub_of_leaf = (leaves - n_hubs) % n_hubs
+    pendant = np.column_stack([hub_of_leaf, leaves])
+    edges = np.vstack([ring, chords, pendant])
+    both = np.vstack([edges, edges[:, ::-1]])
+    n = n_hubs * (1 + leaves_per_hub)
+    return from_edges(n, both, dedupe=True, drop_self_loops=True,
+                      name=name or f"starmesh{n}",
+                      meta={"family": "star_mesh", "group": "synthetic"})
+
+
+def wide_layers(
+    width: int,
+    depth: int,
+    *,
+    fanout: int = 4,
+    seed: RngLike = None,
+    name: str = "",
+) -> CSRGraph:
+    """Layered shallow-wide graph: a root feeding ``depth`` wide layers.
+
+    Vertex 0 is the root, connected to every vertex of layer 1; each
+    layer-``l`` vertex adds ``fanout`` random edges into layer ``l+1``,
+    plus one aligned edge guaranteeing every vertex is reachable.  BFS
+    from 0 takes exactly ``depth`` levels of ``width``-vertex frontiers
+    — the knob that moves a case along the crossover sweep's x-axis.
+    Total vertices: ``1 + width * depth``.
+    """
+    _require(width >= 1, f"wide_layers needs width >= 1, got {width}")
+    _require(depth >= 1, f"wide_layers needs depth >= 1, got {depth}")
+    _require(fanout >= 1, f"wide_layers needs fanout >= 1, got {fanout}")
+    rng = make_rng(seed)
+    lanes = np.arange(width, dtype=np.int64)
+    first = 1 + lanes  # layer 1
+    root_edges = np.column_stack([np.zeros(width, dtype=np.int64), first])
+    inter = []
+    for layer in range(depth - 1):
+        src_base = 1 + layer * width
+        dst_base = src_base + width
+        src = np.repeat(src_base + lanes, fanout)
+        dst = dst_base + rng.integers(0, width,
+                                      size=width * fanout).astype(np.int64)
+        # Aligned lane edge: layer l+1 vertex i always reachable from
+        # layer l vertex i.
+        inter.append(np.column_stack([src_base + lanes, dst_base + lanes]))
+        inter.append(np.column_stack([src, dst]))
+    edges = np.vstack([root_edges] + inter)
+    both = np.vstack([edges, edges[:, ::-1]])
+    n = 1 + width * depth
+    return from_edges(n, both, dedupe=True, drop_self_loops=True,
+                      name=name or f"layers{width}x{depth}",
+                      meta={"family": "wide_layers", "group": "synthetic"})
 
 
 def rmat(

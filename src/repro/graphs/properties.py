@@ -26,6 +26,8 @@ __all__ = [
     "degree_statistics",
     "GraphProfile",
     "profile_graph",
+    "classify_regime",
+    "regime",
 ]
 
 
@@ -156,20 +158,34 @@ class GraphProfile:
 
     @property
     def regime(self) -> str:
-        """``"deep"`` (road/mesh-like), ``"shallow"`` (social-like), or ``"mid"``.
+        """``"deep"`` (road/mesh-like), ``"shallow"`` (social-like), or ``"mid"``."""
+        return classify_regime(self.n_vertices, self.bfs_levels_from_0)
 
-        The classifier mirrors the paper's discussion: road networks and
-        meshes need ~O(sqrt(n)) or more BFS levels (deep), social/web
-        graphs finish in ~O(log n) levels (shallow).
-        """
-        import math
 
-        n = max(self.n_vertices, 2)
-        if self.bfs_levels_from_0 >= 1.2 * math.sqrt(n):
-            return "deep"
-        if self.bfs_levels_from_0 <= 2.5 * math.log2(n):
-            return "shallow"
-        return "mid"
+def classify_regime(n_vertices: int, levels: int) -> str:
+    """``"deep"``, ``"shallow"``, or ``"mid"`` from a BFS level count.
+
+    The classifier mirrors the paper's discussion: road networks and
+    meshes need ~O(sqrt(n)) or more BFS levels (deep), social/web
+    graphs finish in ~O(log n) levels (shallow).  This is also the axis
+    of the BFS/DFS crossover, so :mod:`repro.core.dispatch` keys its
+    backend choice on it.
+    """
+    import math
+
+    n = max(int(n_vertices), 2)
+    if levels >= 1.2 * math.sqrt(n):
+        return "deep"
+    if levels <= 2.5 * math.log2(n):
+        return "shallow"
+    return "mid"
+
+
+def regime(graph: CSRGraph, root: int = 0) -> str:
+    """Structural regime of ``graph`` (one BFS from ``root``)."""
+    if graph.n_vertices == 0:
+        return "shallow"
+    return classify_regime(graph.n_vertices, num_bfs_levels(graph, root))
 
 
 def profile_graph(graph: CSRGraph, *, seed: RngLike = None) -> GraphProfile:

@@ -63,15 +63,22 @@ def default_cache_dir() -> Optional[Path]:
 
 
 def result_key(op: str, root: int, config: Optional[Mapping],
-               graph_fingerprint: str) -> str:
-    """Deterministic cache key for one query (hex digest prefix)."""
-    payload = json.dumps(
-        {"op": op, "root": int(root),
-         "config": dict(config) if config else None,
-         "graph": graph_fingerprint, "version": CACHE_VERSION},
-        sort_keys=True, default=str,
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+               graph_fingerprint: str, backend: str = "dfs") -> str:
+    """Deterministic cache key for one query (hex digest prefix).
+
+    ``backend`` is the *resolved* engine family for DFS queries; only a
+    non-default backend is keyed, so every existing DFS entry (memory or
+    disk spill) stays addressable, while frontier answers can never be
+    served to a DFS-backed daemon or vice versa.
+    """
+    payload: dict = {"op": op, "root": int(root),
+                     "config": dict(config) if config else None,
+                     "graph": graph_fingerprint, "version": CACHE_VERSION}
+    if backend != "dfs":
+        payload["backend"] = backend
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()[:24]
 
 
 class GraphResultCache:

@@ -51,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "only)")
     p.add_argument("--no-shm", action="store_true",
                    help="do not export graphs to shared memory")
+    p.add_argument("--backend", default=None,
+                   choices=("auto", "dfs", "frontier"),
+                   help="engine family for dfs queries (auto routes "
+                        "per graph regime)")
 
     for name, help_ in (("stop", "drain and stop a running daemon"),
                         ("status", "print daemon status JSON"),
@@ -90,6 +94,8 @@ async def _run_daemon(args: argparse.Namespace) -> int:
         overrides["cache_entries"] = args.cache_entries
     if args.cache_dir is not None:
         overrides["cache_dir"] = args.cache_dir
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     if overrides:
         config = config.with_(**overrides)
 

@@ -45,7 +45,8 @@ def graph_fingerprint(graph: CSRGraph) -> str:
 class ResidentGraph:
     """One resident graph: the in-process CSR plus its shm export."""
 
-    __slots__ = ("name", "graph", "fingerprint", "shared", "shm_ok")
+    __slots__ = ("name", "graph", "fingerprint", "shared", "shm_ok",
+                 "_regime")
 
     def __init__(self, name: str, graph: CSRGraph, *, share: bool = True):
         self.name = name
@@ -53,6 +54,7 @@ class ResidentGraph:
         self.fingerprint = graph_fingerprint(graph)
         self.shared = None
         self.shm_ok = False
+        self._regime: Optional[str] = None
         if share:
             try:
                 from repro.graphs.shm import export_csr
@@ -72,6 +74,19 @@ class ResidentGraph:
     def demote(self) -> None:
         """Mark the shm export unusable (dangling segment observed)."""
         self.shm_ok = False
+
+    def regime(self) -> str:
+        """Structural regime (memoized — one BFS per resident lifetime).
+
+        Backend dispatch keys on it per query; the graph is immutable
+        (content changes re-register under a fresh entry), so computing
+        it once per fingerprint is safe.
+        """
+        if self._regime is None:
+            from repro.core.dispatch import graph_regime
+
+            self._regime = graph_regime(self.graph)
+        return self._regime
 
     def close(self) -> None:
         if self.shared is not None:
@@ -151,7 +166,7 @@ CORPUS_SPECS = ("micro", "representative", "demo")
 
 
 def _micro_graphs() -> List[CSRGraph]:
-    """The six micro-bench graphs (routed through the disk cache)."""
+    """The micro-bench sweep graphs (routed through the disk cache)."""
     from repro.bench.micro import MICRO_CASES
 
     out = []
@@ -169,8 +184,9 @@ def load_corpus(spec: str = "micro", *, share: bool = True,
 
     ``"micro"`` — the fixed micro-bench sweep graphs (the load-test
     corpus); ``"representative"`` — the Table-4 stand-ins from
-    :mod:`repro.graphs.collections`; ``"demo"`` — three tiny graphs
-    (one directed) for smoke tests; anything else — comma-separated collection names.
+    :mod:`repro.graphs.collections`; ``"demo"`` — four tiny graphs
+    (one directed, one shallow-wide) for smoke tests; anything else —
+    comma-separated collection names.
     """
     corpus = ResidentCorpus(share=share)
     if spec == "micro":
@@ -188,6 +204,8 @@ def load_corpus(spec: str = "micro", *, share: bool = True,
         corpus.add(gen.binary_tree(6), "demo_tree6")
         corpus.add(gen.citation_graph(48, seed=7, symmetrize=False),
                    "demo_dag48")
+        corpus.add(gen.star_mesh(6, leaves_per_hub=9, seed=7),
+                   "demo_starmesh60")
     else:
         from repro.graphs import collections as col
 

@@ -23,7 +23,11 @@ import numpy as np
 
 from repro.core.config import DiggerBeesConfig
 from repro.errors import ProtocolError, ReproError
-from repro.serve.protocol import QUERY_OPS, dfs_result_to_dict
+from repro.serve.protocol import (
+    QUERY_OPS,
+    dfs_result_to_dict,
+    frontier_result_to_dict,
+)
 
 __all__ = [
     "build_engine_config",
@@ -75,6 +79,18 @@ def _dfs(graph, root: int, overrides) -> Dict[str, Any]:
 
     res = run_diggerbees(graph, root, config=build_engine_config(overrides))
     return dfs_result_to_dict(res)
+
+
+def _frontier(graph, root: int, overrides) -> Dict[str, Any]:
+    # Overrides are validated (bad configs must fail their own request)
+    # but don't parameterize the frontier engine: under "auto" routing a
+    # query with overrides is pinned to DFS before it gets here, and a
+    # forced-frontier daemon answers every DFS query with the one
+    # deterministic min-parent tree.
+    build_engine_config(overrides)
+    from repro.core.frontier import run_frontier
+
+    return frontier_result_to_dict(run_frontier(graph, root))
 
 
 def _scc(graph, root: int, overrides) -> Dict[str, Any]:
@@ -148,13 +164,21 @@ assert set(_EXECUTORS) == set(QUERY_OPS)
 
 def execute_query(wire_graph, op: str, root: int,
                   overrides: Optional[Dict[str, Any]] = None,
-                  ) -> Dict[str, Any]:
-    """Execute one query; returns the result dict or an error marker."""
+                  backend: str = "dfs") -> Dict[str, Any]:
+    """Execute one query; returns the result dict or an error marker.
+
+    ``backend`` is the *resolved* engine family for ``dfs`` queries
+    (``"dfs"`` or ``"frontier"``) — callers route through
+    :func:`repro.core.dispatch.choose_backend` first; this function
+    just executes.  Non-DFS ops ignore it.
+    """
     graph = _resolve(wire_graph)
     try:
         if root < 0 or root >= graph.n_vertices:
             raise ProtocolError(
                 f"root {root} out of range for {graph.n_vertices} vertices")
+        if op == "dfs" and backend == "frontier":
+            return _frontier(graph, root, overrides)
         return _EXECUTORS[op](graph, root, overrides)
     except ReproError as exc:
         return _error_marker(exc)
@@ -166,7 +190,7 @@ def execute_query(wire_graph, op: str, root: int,
 
 def execute_dfs_batch(wire_graph,
                       tasks: List[Tuple[int, Optional[Dict[str, Any]]]],
-                      ) -> List[Dict[str, Any]]:
+                      backend: str = "dfs") -> List[Dict[str, Any]]:
     """Execute ``[(root, config-overrides), ...]`` DFS queries, batched.
 
     Hive-eligible, mutually compatible tasks run as one
@@ -175,8 +199,16 @@ def execute_dfs_batch(wire_graph,
     whole batch, but service responses must fail per *request*) — falls
     back to per-task scalar execution.  Per-task results are identical
     either way; the batch's width is reported by the daemon, not here.
+
+    ``backend="frontier"`` answers every task with the frontier engine
+    instead (admission never mixes backends in one batch, so the whole
+    batch shares the resolved backend); frontier runs are per-root
+    array passes with no lockstep analogue, so the batch is a loop.
     """
     graph = _resolve(wire_graph)
+    if backend == "frontier":
+        return [execute_query(graph, "dfs", root, ov, backend="frontier")
+                for root, ov in tasks]
     n = graph.n_vertices
     try:
         configs = [build_engine_config(ov) for _, ov in tasks]

@@ -60,6 +60,7 @@ __all__ = [
     "decode_response",
     "error_response",
     "dfs_result_to_dict",
+    "frontier_result_to_dict",
     "counters_to_wire",
 ]
 
@@ -262,4 +263,30 @@ def dfs_result_to_dict(res) -> Dict[str, Any]:
         "cycles": int(res.cycles),
         "steps": int(res.engine.steps),
         "counters": counters_to_wire(res.counters),
+    }
+
+
+def frontier_result_to_dict(res) -> Dict[str, Any]:
+    """Canonical payload of one :class:`~repro.core.frontier.FrontierResult`.
+
+    Shares the traversal keys with :func:`dfs_result_to_dict` (sparse
+    ``visited``, dense ``parent``); instead of simulated cycles/steps it
+    carries the frontier engine's level profile, plus a ``backend``
+    marker so clients can tell which engine family answered.  The
+    payload is a pure function of the graph and root (the min-parent
+    tie-break is deterministic), so it caches and replays like any DFS
+    payload.
+    """
+    t = res.traversal
+    return {
+        "n_vertices": int(t.parent.shape[0]),
+        "root": int(t.root),
+        "parent": [int(p) for p in t.parent.tolist()],
+        "visited": np.flatnonzero(t.visited).tolist(),
+        "n_visited": int(t.n_visited),
+        "edges_traversed": int(t.edges_traversed),
+        "backend": "frontier",
+        "n_levels": int(res.n_levels),
+        "pushes": int(res.pushes),
+        "pulls": int(res.pulls),
     }

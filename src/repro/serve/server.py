@@ -7,7 +7,8 @@ Architecture (one process, one event loop):
   arrive; responses are written as results complete, so a connection
   may receive them out of request order (clients correlate by ``id``).
 * **Admission** — DFS queries are grouped by (graph, canonical engine
-  config) in a :class:`~repro.serve.admission.BatchPolicy`; a group
+  config, resolved backend) in a
+  :class:`~repro.serve.admission.BatchPolicy`; a group
   flushes to execution when its ``batch_window`` expires or it reaches
   ``max_batch``.  Identical in-flight queries additionally coalesce
   into one execution ("single-flight"), so a thundering herd of the
@@ -22,8 +23,8 @@ Architecture (one process, one event loop):
   worst.
 * **Caching** — results are memoized per graph
   (:mod:`repro.serve.cache`), keyed by (op, root, config, graph
-  fingerprint); hits are answered inline on the event loop from the
-  pre-serialized JSON.
+  fingerprint, resolved backend); hits are answered inline on the
+  event loop from the pre-serialized JSON.
 * **Shutdown** — stops accepting, flushes every admission group,
   drains in-flight executions (bounded by ``drain_timeout``), spills
   caches, then closes.  Client disconnects never cancel executions
@@ -70,6 +71,7 @@ class ServerStats:
         "connections", "requests", "responses", "errors",
         "cache_hits", "cache_misses", "coalesced",
         "batches", "batched_queries", "hive_batches",
+        "backend_dfs", "backend_frontier",
         "pool_broken", "shm_fallbacks", "inline_fallbacks",
         "dropped_responses", "protocol_errors",
     )
@@ -88,14 +90,16 @@ class ServerStats:
 class _PendingQuery:
     """One admitted query waiting for its result."""
 
-    __slots__ = ("request", "key", "future", "admitted")
+    __slots__ = ("request", "key", "future", "admitted", "backend")
 
     def __init__(self, request: Request, key: str,
-                 future: "asyncio.Future", admitted: float):
+                 future: "asyncio.Future", admitted: float,
+                 backend: str = "dfs"):
         self.request = request
         self.key = key          # cache key (single-flight identity)
         self.future = future    # resolves to (result, raw, batch_width)
         self.admitted = admitted
+        self.backend = backend  # resolved engine family (dfs queries)
 
 
 def _canonical_config(overrides: Optional[Dict[str, Any]]) -> str:
@@ -323,6 +327,7 @@ class ServeServer:
                 "max_batch": self.config.max_batch,
                 "jobs": self.config.jobs,
                 "cache_entries": self.config.cache_entries,
+                "backend": self.config.backend,
             },
             "pending": self.policy.pending_count(),
             "inflight_batches": len(self._exec_tasks),
@@ -356,17 +361,36 @@ class ServeServer:
     # Query path: cache -> single-flight -> admission -> execution.
     # ------------------------------------------------------------------
 
+    def _resolve_backend(self, entry: ResidentGraph, req: Request) -> str:
+        """Resolved engine family for one DFS query (deterministic).
+
+        Pure function of (knob, graph regime, overrides), so cache keys
+        and single-flight identity stay stable across repeats.  The
+        regime BFS only runs under ``backend="auto"`` (and is memoized
+        per resident graph); forced knobs never pay it.
+        """
+        from repro.core.dispatch import choose_backend
+
+        regime = (entry.regime()
+                  if self.config.backend == "auto" else None)
+        return choose_backend(requested=self.config.backend,
+                              regime=regime,
+                              overrides=req.config).backend
+
     async def _dispatch_query(self, req: Request) -> bytes:
         loop = asyncio.get_running_loop()
         t0 = loop.time()
         entry = self.corpus.get(req.graph)          # ServeError if unknown
+        backend = "dfs"
         if req.op == "dfs":
             # Validate overrides up front: a malformed config must fail
             # its own request, not the batch it would have joined.
             from repro.serve.exec import build_engine_config
 
             build_engine_config(req.config)
-        key = result_key(req.op, req.root, req.config, entry.fingerprint)
+            backend = self._resolve_backend(entry, req)
+        key = result_key(req.op, req.root, req.config, entry.fingerprint,
+                         backend)
         cache = self._cache_for(entry)
 
         if not req.no_cache:
@@ -385,17 +409,24 @@ class ServeServer:
             waiters = self._inflight_keys.get(flight_key)
             if waiters is not None:
                 self.stats.bump("coalesced")
-                pending = _PendingQuery(req, key, loop.create_future(), t0)
+                pending = _PendingQuery(req, key, loop.create_future(), t0,
+                                        backend)
                 waiters.append(pending)
                 return await self._await_pending(pending, t0)
 
-        pending = _PendingQuery(req, key, loop.create_future(), t0)
+        pending = _PendingQuery(req, key, loop.create_future(), t0, backend)
         if not req.no_cache:
             self._inflight_keys[(entry.name, key)] = [pending]
 
         if req.op == "dfs":
+            # The resolved backend is part of the admission identity so
+            # one flushed batch is always backend-homogeneous (a single
+            # auto daemon never mixes engines within a batch anyway —
+            # the decision is per graph — but a forced knob must not
+            # merge with a differently-keyed group after a live
+            # reconfiguration).
             admission_key = (entry.name, _canonical_config(req.config),
-                             bool(req.no_cache))
+                             bool(req.no_cache), backend)
             batch = self.policy.add(admission_key,
                                     (entry, pending), loop.time())
             if batch is not None:
@@ -445,8 +476,10 @@ class ServeServer:
             if pendings[0].request.op == "dfs":
                 tasks = [(p.request.root, p.request.config)
                          for p in pendings]
+                backend = pendings[0].backend  # admission-homogeneous
+                self.stats.bump(f"backend_{backend}", width)
                 results = await self._execute(
-                    execute_dfs_batch, entry, tasks)
+                    execute_dfs_batch, entry, tasks, backend)
             else:
                 req = pendings[0].request
                 results = [await self._execute(

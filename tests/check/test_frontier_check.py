@@ -1,0 +1,72 @@
+"""The frontier-diff oracle rung: clean passes, corrupted engines caught."""
+
+import numpy as np
+import pytest
+
+from repro.check.cases import case_from_seed
+from repro.check.differential import check_case
+from repro.errors import SimulationError
+
+
+def _case_with_depth():
+    """First fuzz seed whose graph has >= 2 BFS levels from the root,
+    so a level corruption is actually observable."""
+    from repro.graphs.properties import num_bfs_levels
+
+    for seed in range(20):
+        case = case_from_seed(seed)
+        if num_bfs_levels(case.build_graph(), case.root) >= 2:
+            return case
+    raise AssertionError("no fuzz seed with a multi-level graph")
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_clean_cases_pass_with_frontier_rung(seed):
+    assert check_case(case_from_seed(seed), frontier=True) is None
+
+
+def test_level_corruption_is_caught(monkeypatch):
+    import repro.core.frontier as frontier_mod
+
+    case = _case_with_depth()
+    real = frontier_mod.run_frontier
+
+    def corrupted(graph, root, config=None):
+        res = real(graph, root, config=config)
+        deep = np.flatnonzero(res.level >= 1)
+        res.level[deep[0]] += 1  # off-by-one on one reached vertex
+        return res
+
+    monkeypatch.setattr(frontier_mod, "run_frontier", corrupted)
+    failure = check_case(case, frontier=True)
+    assert failure is not None
+    assert failure.stage == "frontier-diff"
+    assert "bfs_levels" in failure.message
+    assert failure.frontier
+    assert "--frontier" in failure.repro_command
+    assert f"repro {case.seed}" in failure.repro_command
+
+
+def test_engine_error_is_caught(monkeypatch):
+    import repro.core.frontier as frontier_mod
+
+    def broken(graph, root, config=None):
+        raise SimulationError("frontier engine exploded")
+
+    monkeypatch.setattr(frontier_mod, "run_frontier", broken)
+    failure = check_case(case_from_seed(0), frontier=True)
+    assert failure is not None
+    assert failure.stage == "frontier-diff"
+    assert "SimulationError" in failure.message
+
+
+def test_rung_is_opt_in(monkeypatch):
+    # Without frontier=True the rung must not run at all — a broken
+    # frontier engine cannot fail the default ladder.
+    import repro.core.frontier as frontier_mod
+
+    def broken(graph, root, config=None):
+        raise SimulationError("must never be called")
+
+    monkeypatch.setattr(frontier_mod, "run_frontier", broken)
+    assert check_case(case_from_seed(0)) is None

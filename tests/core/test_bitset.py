@@ -1,0 +1,90 @@
+"""Hypothesis round-trip tests for the bit-packed vertex sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitset
+from repro.utils.rng import make_rng
+
+
+def random_mask(seed, n_max=600):
+    rng = make_rng(seed)
+    n = int(rng.integers(1, n_max))
+    return rng.random(n) < rng.random()
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=80)
+def test_pack_unpack_roundtrip(seed):
+    mask = random_mask(seed)
+    words = bitset.pack_bits(mask)
+    assert words.dtype == np.uint64
+    assert words.size == bitset.n_words(mask.size)
+    assert np.array_equal(bitset.unpack_bits(words, mask.size), mask)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=80)
+def test_popcount_matches_dense_sum(seed):
+    mask = random_mask(seed)
+    assert bitset.popcount(bitset.pack_bits(mask)) == int(mask.sum())
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=80)
+def test_set_bits_equals_pack_of_dense(seed):
+    """Building a set by set_bits equals packing the dense mask —
+    including duplicate indices, which must be idempotent."""
+    mask = random_mask(seed)
+    idx = np.flatnonzero(mask).astype(np.int64)
+    rng = make_rng(seed + 1)
+    if idx.size:
+        dupes = rng.choice(idx, size=min(idx.size, 7))
+        idx = np.concatenate([idx, dupes])
+    words = bitset.empty_bitset(mask.size)
+    bitset.set_bits(words, idx)
+    assert np.array_equal(words, bitset.pack_bits(mask))
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=80)
+def test_test_bits_matches_mask(seed):
+    mask = random_mask(seed)
+    words = bitset.pack_bits(mask)
+    probe = make_rng(seed + 2).integers(0, mask.size, size=32)
+    assert np.array_equal(bitset.test_bits(words, probe), mask[probe])
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=80)
+def test_nonzero_bits_matches_flatnonzero(seed):
+    mask = random_mask(seed)
+    words = bitset.pack_bits(mask)
+    assert np.array_equal(bitset.nonzero_bits(words, mask.size),
+                          np.flatnonzero(mask))
+
+
+def test_complement_respects_tail_bits():
+    """~words sets the pad bits past n; consumers must slice by n."""
+    mask = np.zeros(70, dtype=bool)
+    mask[3] = True
+    words = bitset.pack_bits(mask)
+    inv = bitset.nonzero_bits(~words, mask.size)
+    assert np.array_equal(inv, np.flatnonzero(~mask))
+
+
+def test_empty_and_edge_sizes():
+    assert bitset.n_words(0) == 0
+    assert bitset.n_words(1) == 1
+    assert bitset.n_words(64) == 1
+    assert bitset.n_words(65) == 2
+    assert bitset.empty_bitset(0).size == 0
+    assert bitset.popcount(bitset.empty_bitset(130)) == 0
+    with pytest.raises(ValueError):
+        bitset.n_words(-1)
+    with pytest.raises(ValueError):
+        bitset.unpack_bits(np.zeros(1, dtype=np.uint64), 65)
+    with pytest.raises(ValueError):
+        bitset.pack_bits(np.zeros((2, 2), dtype=bool))

@@ -1,0 +1,95 @@
+"""Routing rules of repro.core.dispatch.choose_backend, pinned."""
+
+import pytest
+
+from repro.core.dispatch import (
+    BACKEND_CHOICES,
+    BACKENDS,
+    BackendDecision,
+    choose_backend,
+    graph_regime,
+)
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+
+
+def test_choice_constants():
+    assert BACKENDS == ("dfs", "frontier")
+    assert BACKEND_CHOICES == ("auto", "dfs", "frontier")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_forced_backend_wins_regardless_of_regime(backend):
+    # A forced backend ignores both the regime and any overrides.
+    for regime in ("deep", "shallow", "mid", None):
+        d = choose_backend(requested=backend, regime=regime,
+                           overrides={"n_blocks": 2})
+        assert d == BackendDecision(backend=backend,
+                                    regime=regime or "unknown",
+                                    reason="forced")
+
+
+def test_forced_backend_needs_no_graph():
+    # The serve layer's forced knobs must never pay the regime BFS.
+    assert choose_backend(requested="dfs").backend == "dfs"
+    assert choose_backend(requested="frontier").backend == "frontier"
+
+
+def test_auto_with_overrides_is_config_pinned():
+    # Engine-config overrides ask for a specific DFS simulation;
+    # the frontier engine cannot answer those queries.
+    d = choose_backend(requested="auto", regime="shallow",
+                       overrides={"steal_policy": "random"})
+    assert d.backend == "dfs"
+    assert d.reason == "config-pinned"
+    # ... but an *empty* overrides mapping routes by regime.
+    d = choose_backend(requested="auto", regime="shallow", overrides={})
+    assert d.backend == "frontier"
+    assert d.reason == "regime"
+
+
+@pytest.mark.parametrize("regime,backend", [
+    ("shallow", "frontier"),
+    ("deep", "dfs"),
+    ("mid", "dfs"),
+])
+def test_auto_routes_by_regime(regime, backend):
+    d = choose_backend(requested="auto", regime=regime)
+    assert d.backend == backend
+    assert d.regime == regime
+    assert d.reason == "regime"
+
+
+def test_auto_profiles_the_graph_when_no_regime_given():
+    shallow = choose_backend(gen.star_graph(400), requested="auto")
+    assert shallow.backend == "frontier"
+    assert shallow.regime == "shallow"
+    deep = choose_backend(gen.path_graph(400), requested="auto")
+    assert deep.backend == "dfs"
+    assert deep.regime == "deep"
+
+
+def test_precomputed_regime_short_circuits_the_probe():
+    # A supplied regime must win over what the graph would profile as.
+    d = choose_backend(gen.path_graph(400), requested="auto",
+                       regime="shallow")
+    assert d.backend == "frontier"
+
+
+def test_invalid_requested_backend_raises():
+    with pytest.raises(SimulationError):
+        choose_backend(requested="gpu")
+    with pytest.raises(SimulationError):
+        choose_backend(requested="")
+
+
+def test_auto_without_graph_or_regime_raises():
+    with pytest.raises(SimulationError):
+        choose_backend(requested="auto")
+
+
+def test_graph_regime_matches_properties_regime():
+    from repro.graphs.properties import regime
+
+    g = gen.star_mesh(12, leaves_per_hub=9, seed=8)
+    assert graph_regime(g) == regime(g, 0)

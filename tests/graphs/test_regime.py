@@ -1,0 +1,113 @@
+"""Regime classification boundaries and the crossover-sweep generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.properties import (
+    bfs_levels,
+    classify_regime,
+    num_bfs_levels,
+    regime,
+)
+
+
+class TestClassifyRegime:
+    def test_boundaries(self):
+        n = 10_000
+        deep_floor = math.ceil(1.2 * math.sqrt(n))
+        shallow_ceil = math.floor(2.5 * math.log2(n))
+        assert classify_regime(n, deep_floor) == "deep"
+        assert classify_regime(n, deep_floor - 1) == "mid"
+        assert classify_regime(n, shallow_ceil) == "shallow"
+        assert classify_regime(n, shallow_ceil + 1) == "mid"
+
+    def test_known_shapes(self):
+        # A path needs ~n levels, a star needs 2.
+        assert classify_regime(4096, 4096) == "deep"
+        assert classify_regime(4096, 2) == "shallow"
+
+    def test_tiny_n_clamped(self):
+        # n is clamped to >= 2 so log2 stays defined.
+        assert classify_regime(0, 1) in ("deep", "shallow", "mid")
+        assert classify_regime(1, 0) == "shallow"
+
+
+class TestRegimeOnGenerators:
+    @pytest.mark.parametrize("build,expected", [
+        (lambda: gen.path_graph(2000), "deep"),
+        (lambda: gen.star_graph(2000), "shallow"),
+        (lambda: gen.star_mesh(40, leaves_per_hub=19, seed=1), "shallow"),
+        (lambda: gen.wide_layers(500, 4, seed=2), "shallow"),
+        (lambda: gen.grid2d(45, 45), "deep"),
+    ])
+    def test_flagship_regimes(self, build, expected):
+        assert regime(build(), 0) == expected
+
+    def test_regime_agrees_with_level_count(self):
+        g = gen.road_network(n_vertices=900, seed=4)
+        assert regime(g, 0) == classify_regime(g.n_vertices,
+                                               num_bfs_levels(g, 0))
+
+
+class TestStarMesh:
+    def test_shape_and_connectivity(self):
+        g = gen.star_mesh(12, leaves_per_hub=9, seed=8)
+        assert g.n_vertices == 12 * (1 + 9)
+        lv = bfs_levels(g, 0)
+        assert (lv >= 0).all()
+        assert g.meta["family"] == "star_mesh"
+        # Leaves are pendant: degree exactly 1.
+        deg = g.degree()
+        assert (deg[12:] == 1).all()
+
+    def test_shallow_by_construction(self):
+        g = gen.star_mesh(50, leaves_per_hub=19, seed=3)
+        # Hub core is small-diameter; leaves add one hop.
+        assert num_bfs_levels(g, 0) <= 2 + math.ceil(math.log2(50)) + 1
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            gen.star_mesh(1)
+        with pytest.raises(Exception):
+            gen.star_mesh(4, leaves_per_hub=-1)
+
+    def test_deterministic_per_seed(self):
+        a = gen.star_mesh(10, leaves_per_hub=5, seed=7)
+        b = gen.star_mesh(10, leaves_per_hub=5, seed=7)
+        assert np.array_equal(a.row_ptr, b.row_ptr)
+        assert np.array_equal(a.column_idx, b.column_idx)
+
+
+class TestWideLayers:
+    def test_shape_and_exact_levels(self):
+        width, depth = 60, 5
+        g = gen.wide_layers(width, depth, seed=9)
+        assert g.n_vertices == 1 + width * depth
+        lv = bfs_levels(g, 0)
+        assert (lv >= 0).all()
+        # BFS from the root sees exactly `depth` full-width frontiers.
+        assert num_bfs_levels(g, 0) == depth + 1
+        for layer in range(depth):
+            sl = lv[1 + layer * width: 1 + (layer + 1) * width]
+            assert (sl == layer + 1).all()
+
+    def test_depth_moves_the_regime(self):
+        assert regime(gen.wide_layers(500, 4, seed=2), 0) == "shallow"
+        assert regime(gen.wide_layers(8, 250, seed=2), 0) == "deep"
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            gen.wide_layers(0, 4)
+        with pytest.raises(Exception):
+            gen.wide_layers(4, 0)
+        with pytest.raises(Exception):
+            gen.wide_layers(4, 4, fanout=0)
+
+    def test_deterministic_per_seed(self):
+        a = gen.wide_layers(20, 3, seed=11)
+        b = gen.wide_layers(20, 3, seed=11)
+        assert np.array_equal(a.column_idx, b.column_idx)
+        assert a.meta["family"] == "wide_layers"

@@ -1,0 +1,132 @@
+"""Backend routing in the daemon: knob, auto dispatch, counters, keys."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ServeConfig
+from repro.core.diggerbees import run_diggerbees
+from repro.core.frontier import run_frontier
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.serve.cache import result_key
+from repro.serve.protocol import frontier_result_to_dict
+
+from tests.serve.conftest import serve_session
+
+
+def routing_graphs():
+    return {
+        "wide": gen.star_mesh(12, leaves_per_hub=9, seed=8),   # shallow
+        "spine": gen.path_graph(120),                          # deep
+    }
+
+
+def make_config(backend):
+    return ServeConfig(batch_window=0.01, max_batch=8, jobs=0,
+                       cache_dir="off", backend=backend)
+
+
+def test_default_daemon_stays_dfs():
+    async def scenario(client, server, **_):
+        resp = await client.dfs("wide", 0)
+        assert resp.ok and "cycles" in resp.result
+        status = await client.status()
+        assert status["config"]["backend"] == "dfs"
+        assert status["stats"]["backend_dfs"] == 1
+        assert status["stats"]["backend_frontier"] == 0
+
+    serve_session(scenario, graphs=routing_graphs())
+
+
+def test_forced_frontier_daemon_answers_with_frontier_payloads():
+    async def scenario(client, server, corpus, **_):
+        for name in ("wide", "spine"):  # forced: regime is irrelevant
+            resp = await client.dfs(name, 0)
+            assert resp.ok and resp.result["backend"] == "frontier"
+            expected = frontier_result_to_dict(
+                run_frontier(corpus.get(name).graph, 0))
+            assert resp.result == expected
+        status = await client.status()
+        assert status["stats"]["backend_frontier"] == 2
+        assert status["stats"]["backend_dfs"] == 0
+        assert status["config"]["backend"] == "frontier"
+        # Forced knobs never pay the regime BFS.
+        assert corpus.get("wide")._regime is None
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=make_config("frontier"))
+
+
+def test_auto_routes_by_regime_and_pins_overrides():
+    async def scenario(client, server, corpus, **_):
+        shallow = await client.dfs("wide", 0)
+        assert shallow.result["backend"] == "frontier"
+        deep = await client.dfs("spine", 0)
+        assert "cycles" in deep.result  # DFS simulation payload
+        # Engine-config overrides pin the query to the DFS simulation
+        # even on a shallow graph.
+        pinned = await client.query(
+            "dfs", "wide", root=0, config={"seed": 5}, no_cache=True)
+        assert "cycles" in pinned.result
+        status = await client.status()
+        assert status["stats"]["backend_frontier"] == 1
+        assert status["stats"]["backend_dfs"] == 2
+        # The regime was profiled once per resident graph and memoized.
+        assert corpus.get("wide")._regime == "shallow"
+        assert corpus.get("spine")._regime == "deep"
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=make_config("auto"))
+
+
+def test_frontier_payload_matches_dfs_reachability():
+    # Different engine family, same graph truth: identical visited set
+    # and visit count (the parent trees legitimately differ).
+    async def scenario(client, corpus, **_):
+        resp = await client.dfs("wide", 0)
+        ref = run_diggerbees(corpus.get("wide").graph, 0)
+        assert resp.result["visited"] == \
+            np.flatnonzero(ref.traversal.visited).tolist()
+        assert resp.result["n_visited"] == int(ref.traversal.n_visited)
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=make_config("frontier"))
+
+
+def test_non_dfs_ops_ignore_the_backend_knob():
+    async def scenario(client, server, **_):
+        resp = await client.query("spanning", "wide")
+        assert resp.ok and resp.result["n_components"] == 1
+        status = await client.status()
+        assert status["stats"]["backend_frontier"] == 0
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=make_config("frontier"))
+
+
+def test_cached_frontier_results_replay():
+    async def scenario(client, server, **_):
+        first = await client.dfs("wide", 3)
+        second = await client.dfs("wide", 3)
+        assert second.cached and second.result == first.result
+        status = await client.status()
+        # One real frontier execution served both requests.
+        assert status["stats"]["backend_frontier"] == 1
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=make_config("frontier"))
+
+
+def test_result_key_separates_backends():
+    fp = "deadbeef"
+    dfs_key = result_key("dfs", 0, None, fp)
+    assert result_key("dfs", 0, None, fp, "frontier") != dfs_key
+    # The default backend is un-keyed so pre-existing DFS cache entries
+    # (including disk spills) stay addressable.
+    assert result_key("dfs", 0, None, fp, "dfs") == dfs_key
+
+
+def test_serve_config_backend_validation():
+    with pytest.raises(SimulationError):
+        ServeConfig(backend="gpu")
+    assert ServeConfig(backend="auto").backend == "auto"
