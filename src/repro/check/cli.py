@@ -4,12 +4,14 @@ Subcommands::
 
     python -m repro.check fuzz [--cases N | --smoke | --seconds S]
                                [--start-seed K] [--stress] [--turbo]
-                               [--hive] [--frontier] [--no-shrink]
+                               [--hive] [--frontier] [--shard]
+                               [--no-shrink]
     python -m repro.check repro <seed> [--stress] [--turbo] [--hive]
-                                       [--frontier] [--mutation NAME]
+                                       [--frontier] [--shard]
+                                       [--mutation NAME]
     python -m repro.check repro --case '<json>' [--mutation NAME]
     python -m repro.check mutants [--names a,b] [--budget N] [--turbo]
-                                  [--hive] [--frontier]
+                                  [--hive] [--frontier] [--shard]
 
 ``fuzz`` samples seed-derived cases and runs each through the oracle
 ladder, shrinking the first failure and exiting non-zero with a one-line
@@ -62,7 +64,7 @@ def cmd_fuzz(args) -> int:
         case = case_from_seed(seed, stress=args.stress)
         failure = check_case(case, stress=args.stress, turbo=args.turbo,
                              hive=args.hive, serve=args.serve,
-                             frontier=args.frontier)
+                             frontier=args.frontier, shard=args.shard)
         ran += 1
         if failure is not None:
             _echo(failure.report())
@@ -96,7 +98,7 @@ def cmd_repro(args) -> int:
     _echo(f"case: {case.describe()}")
     failure = check_case(case, mutation=args.mutation, stress=args.stress,
                          turbo=args.turbo, hive=args.hive, serve=args.serve,
-                         frontier=args.frontier)
+                         frontier=args.frontier, shard=args.shard)
     if failure is None:
         _echo("PASS: all oracle stages agree")
         return 0
@@ -113,7 +115,8 @@ def run_mutant(name: str, *, budget: int = MUTANT_CASE_BUDGET,
                turbo: bool = False,
                hive: bool = False,
                serve: bool = False,
-               frontier: bool = False) -> Optional[CheckFailure]:
+               frontier: bool = False,
+               shard: bool = False) -> Optional[CheckFailure]:
     """Fuzz one mutation with stress cases; return its first detection.
 
     ``turbo=True`` runs the primary pass under the fused turbo loop;
@@ -128,7 +131,8 @@ def run_mutant(name: str, *, budget: int = MUTANT_CASE_BUDGET,
         if turbo or hive:
             case = case.with_(perturb_seed=None, jitter=0)
         failure = check_case(case, mutation=name, stress=True, turbo=turbo,
-                             hive=hive, serve=serve, frontier=frontier)
+                             hive=hive, serve=serve, frontier=frontier,
+                             shard=shard)
         if failure is not None:
             return failure
     return None
@@ -145,7 +149,7 @@ def cmd_mutants(args) -> int:
         t0 = time.monotonic()
         failure = run_mutant(name, budget=args.budget, turbo=args.turbo,
                              hive=args.hive, serve=args.serve,
-                             frontier=args.frontier)
+                             frontier=args.frontier, shard=args.shard)
         dt = time.monotonic() - t0
         if failure is None:
             missed.append(name)
@@ -199,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "bit-packed SpMV engine must match the DFS "
                            "on reachability and its own level/parent "
                            "contract on every case")
+    fuzz.add_argument("--shard", action="store_true",
+                      help="add the shard differential rung: the "
+                           "sharded tier (k=2 and k=4) must match the "
+                           "unsharded engine on reachability and edge "
+                           "inspections and be k-invariant on every "
+                           "case")
     fuzz.add_argument("--verbose", action="store_true")
     fuzz.set_defaults(func=cmd_fuzz)
 
@@ -216,6 +226,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add the serve differential rung")
     repro.add_argument("--frontier", action="store_true",
                        help="add the frontier differential rung")
+    repro.add_argument("--shard", action="store_true",
+                       help="add the shard differential rung")
     repro.add_argument("--mutation", type=str, default=None,
                        choices=sorted(MUTATIONS))
     repro.set_defaults(func=cmd_repro)
@@ -241,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "differential rung active (injected DFS "
                               "bugs must still be caught with the "
                               "frontier oracle in the ladder)")
+    mutants.add_argument("--shard", action="store_true",
+                         help="run every mutant with the shard "
+                              "differential rung active (injected bugs "
+                              "must be caught through the sharded "
+                              "tier's merge and self-checks)")
     mutants.add_argument("--verbose", action="store_true")
     mutants.set_defaults(func=cmd_mutants)
     return parser

@@ -40,6 +40,15 @@ fixed oracle ladder and reports the first failure (or None):
    equal :func:`~repro.graphs.properties.bfs_levels`, its parent array
    must equal the independent min-parent oracle, and forced push/pull
    runs must be bit-identical to the auto-switched one;
+5f. **shard differential** (opt-in via ``shard=True``) — run the sharded
+   execution tier (:mod:`repro.core.shard`) at k=2 and k=4 on the same
+   graph; each run's visited set must equal both the primary's and the
+   serial reference's, its levels must equal
+   :func:`~repro.graphs.properties.bfs_levels`, its edge count must
+   equal the primary's, its parent tree must equal the independent
+   min-parent oracle (undirected cases), and the two k values must be
+   bit-identical to each other (the canonical merge promises
+   k-invariance);
 6. **scheduler differential** — heap vs calendar-queue rerun must agree
    exactly (skipped under perturbation, which bypasses both);
 7. **PDFS baseline differential** — CKL-PDFS reachability on the same
@@ -86,6 +95,7 @@ class CheckFailure:
     hive: bool = False
     serve: bool = False
     frontier: bool = False
+    shard: bool = False
 
     @property
     def repro_command(self) -> str:
@@ -106,6 +116,8 @@ class CheckFailure:
             cmd += " --serve"
         if self.frontier:
             cmd += " --frontier"
+        if self.shard:
+            cmd += " --shard"
         if self.mutation:
             cmd += f" --mutation {self.mutation}"
         return cmd
@@ -172,7 +184,7 @@ def run_monitored(case: FuzzCase, *, check_every: int = 64,
 def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                stress: bool = False, turbo: bool = False,
                hive: bool = False, serve: bool = False,
-               frontier: bool = False,
+               frontier: bool = False, shard: bool = False,
                check_every: Optional[int] = None) -> Optional[CheckFailure]:
     """Run the full oracle ladder on ``case``; None means it passed.
 
@@ -204,6 +216,13 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
     level structure, and with the independent min-parent oracle on the
     tree — and its push/pull/auto modes must be bit-identical.
 
+    ``shard`` adds the shard differential rung: the sharded execution
+    tier partitions the graph, runs one engine per district with the
+    case's config, and the canonical merged result must agree with the
+    primary on reachability and edge inspections, with ``bfs_levels``
+    on levels, with the min-parent oracle on the tree (undirected
+    cases), and be bit-identical between k=2 and k=4.
+
     ``check_every`` defaults to a per-step sweep (1) in stress mode —
     transient corruption (e.g. an ABA duplicate that the victim pops a
     step later) is only visible to a sweep that runs before the next
@@ -215,7 +234,8 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
     def fail(stage: str, message: str) -> CheckFailure:
         return CheckFailure(case=case, stage=stage, message=str(message),
                             mutation=mutation, stress=stress, turbo=turbo,
-                            hive=hive, serve=serve, frontier=frontier)
+                            hive=hive, serve=serve, frontier=frontier,
+                            shard=shard)
 
     with apply_mutation(mutation):
         # Stage 1: monitored run (invariant hooks + periodic sweep).
@@ -490,6 +510,84 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                             "frontier-diff",
                             f"forced {forced} mode diverges from auto "
                             f"(modes promise bit-identical results)")
+
+        # Stage 5f: shard differential — the sharded tier partitions the
+        # graph, runs the case's engine per district, and its canonical
+        # merge must agree with everything already pinned above:
+        # reachability with the primary AND the serial reference, levels
+        # with bfs_levels, edge inspections with the primary, the tree
+        # with the independent min-parent oracle (undirected), and the
+        # whole result must be invariant between k=2 and k=4.
+        if shard:
+            from repro.core.frontier import min_parent_tree
+            from repro.core.shard import run_sharded
+            from repro.graphs.properties import bfs_levels
+
+            sconfig = case.build_config(turbo=turbo)
+            sharded = {}
+            for kk in (2, 4):
+                try:
+                    sres = run_sharded(graph, case.root, config=sconfig,
+                                       k=kk)
+                    validate_traversal(graph, sres.traversal)
+                except ReproError as exc:
+                    return fail("shard-diff",
+                                f"k={kk}: {type(exc).__name__}: {exc}")
+                sharded[kk] = sres
+                if not np.array_equal(sres.traversal.visited,
+                                      result.traversal.visited):
+                    missing = np.flatnonzero(result.traversal.visited
+                                             & ~sres.traversal.visited)
+                    extra = np.flatnonzero(~result.traversal.visited
+                                           & sres.traversal.visited)
+                    return fail(
+                        "shard-diff",
+                        f"k={kk}: visited set differs from the unsharded "
+                        f"engine: {missing.size} missing "
+                        f"(e.g. {missing[:5].tolist()}), {extra.size} "
+                        f"extra (e.g. {extra[:5].tolist()})")
+                if not np.array_equal(sres.traversal.visited, ref.visited):
+                    return fail("shard-diff",
+                                f"k={kk}: visited set differs from "
+                                f"serial DFS")
+                if (sres.traversal.edges_traversed
+                        != result.traversal.edges_traversed):
+                    return fail(
+                        "shard-diff",
+                        f"k={kk}: edge inspections diverge: sharded="
+                        f"{sres.traversal.edges_traversed}, primary="
+                        f"{result.traversal.edges_traversed}")
+                ref_levels = bfs_levels(graph, case.root)
+                if not np.array_equal(sres.levels, ref_levels):
+                    diff = np.flatnonzero(sres.levels != ref_levels)
+                    return fail(
+                        "shard-diff",
+                        f"k={kk}: level array diverges from bfs_levels "
+                        f"at {diff.size} vertices "
+                        f"(e.g. {diff[:5].tolist()})")
+                if not graph.directed:
+                    oracle = min_parent_tree(graph, ref_levels, case.root)
+                    if not np.array_equal(sres.traversal.parent, oracle):
+                        diff = np.flatnonzero(
+                            sres.traversal.parent != oracle)
+                        return fail(
+                            "shard-diff",
+                            f"k={kk}: parent diverges from the "
+                            f"min-parent oracle at {diff.size} vertices "
+                            f"(e.g. {diff[:5].tolist()})")
+            if not np.array_equal(sharded[2].traversal.parent,
+                                  sharded[4].traversal.parent):
+                diff = np.flatnonzero(sharded[2].traversal.parent
+                                      != sharded[4].traversal.parent)
+                return fail(
+                    "shard-diff",
+                    f"k=2 vs k=4 parent arrays diverge at {diff.size} "
+                    f"vertices (e.g. {diff[:5].tolist()}) — the "
+                    f"canonical merge must be k-invariant")
+            if (sharded[2].traversal.edges_traversed
+                    != sharded[4].traversal.edges_traversed):
+                return fail("shard-diff",
+                            "k=2 vs k=4 edge inspections diverge")
 
         # Stage 6: scheduler differential (heap vs calendar queue).
         # Perturbed runs use the dedicated perturbation loop, which

@@ -86,7 +86,8 @@ def shrink_case(
             result = check_case(candidate, mutation=failure.mutation,
                                 stress=failure.stress, turbo=failure.turbo,
                                 hive=failure.hive, serve=failure.serve,
-                                frontier=failure.frontier)
+                                frontier=failure.frontier,
+                                shard=failure.shard)
             if result is not None:
                 current = candidate
                 best = result

@@ -4,6 +4,7 @@ stealing DFS (DiggerBees)."""
 from repro.core.config import DiggerBeesConfig
 from repro.core.diggerbees import DiggerBeesResult, run_diggerbees
 from repro.core.multi_source import MultiSourceResult, run_diggerbees_multi
+from repro.core.shard import ShardedResult, run_sharded
 from repro.core.twolevel_stack import ColdSeg, HotRing, OneLevelStack, WarpStack
 
 __all__ = [
@@ -12,6 +13,8 @@ __all__ = [
     "DiggerBeesResult",
     "run_diggerbees_multi",
     "MultiSourceResult",
+    "run_sharded",
+    "ShardedResult",
     "HotRing",
     "ColdSeg",
     "WarpStack",

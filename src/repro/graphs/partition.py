@@ -1,0 +1,613 @@
+"""Balanced k-way graph partitioning with cut minimization.
+
+The sharded execution tier (:mod:`repro.core.shard`) lifts the paper's
+inter-block steal protocol one level up: a CSR graph is split into ``k``
+balanced *districts*, each district runs its own engine, and cut edges
+become the inter-partition communication channel.  The partitioner here
+supplies that split.  It is pure NumPy, deterministic under ``seed``,
+and optimizes the two quantities the sharded tier cares about:
+
+* **edge-cut fraction** — the share of stored arcs that cross district
+  boundaries.  Every cut arc is a potential message in the round
+  protocol, so fewer cut arcs means fewer synchronization barriers do
+  real work.
+* **balance factor** — ``max district size / (n / k)``.  The round
+  protocol's makespan is the *maximum* district time per round, so an
+  oversized district serializes the whole shard set.
+
+Algorithm (all phases deterministic under ``seed``):
+
+1. **Seeding** — a double-sweep BFS finds a peripheral vertex, then
+   farthest-point traversal picks ``k`` mutually distant seeds (ties
+   broken by smallest vertex id).
+2. **Balanced region growing** — multi-source BFS; each wave, districts
+   claim unlabelled frontier neighbours smallest-district-first, capped
+   at ``ceil(n/k)`` so no district can swallow the graph.  Starved
+   vertices (walled off by full districts) join the smallest adjacent
+   district; disconnected leftovers round-robin onto the smallest
+   districts.
+3. **Boundary refinement** — Hess-style label-improvement passes: a
+   boundary vertex moves to the neighbouring district with the highest
+   connectivity gain, provided both districts stay inside the balance
+   envelope.  Gains are recomputed against current labels at apply
+   time, so a pass never applies a stale move.
+
+The result is a :class:`PartitionedCSR`: per-district induced subgraphs
+(local vertex ids), halo/cut tables mapping every outgoing cut arc to
+``(dst_district, dst_local)``, and the quality metrics above.  Quality
+is surfaced through :func:`repro.graphs.properties.profile_graph` via
+``partition_k=...``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.csr import CSRGraph, from_edges
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = [
+    "District",
+    "PartitionedCSR",
+    "partition_graph",
+    "partition_labels",
+    "partition_quality",
+]
+
+_IDX = np.int64
+
+
+# ----------------------------------------------------------------------
+# Label assignment
+# ----------------------------------------------------------------------
+def _symmetric_edges(graph: CSRGraph) -> np.ndarray:
+    """Undirected view of the arc set: union of arcs and their reverses.
+
+    Labelling quality wants symmetric connectivity even for digraphs (a
+    cut arc costs a message no matter its direction); self-loops never
+    affect the cut so they are dropped.  Deduplication runs on a packed
+    ``src * n + dst`` key — identical (lexicographically sorted) rows to
+    ``np.unique(axis=0)`` without its row-wise sort.
+    """
+    edges = graph.edge_array()
+    n = graph.n_vertices
+    if edges.size == 0:
+        return edges.reshape(0, 2)
+    both = np.vstack([edges, edges[:, ::-1]])
+    both = both[both[:, 0] != both[:, 1]]
+    key = _uniq(both[:, 0] * n + both[:, 1])
+    return np.column_stack([key // n, key % n])
+
+
+def _uniq(a: np.ndarray) -> np.ndarray:
+    """Sorted unique via an explicit sort + run-length mask.
+
+    ``np.unique`` routes integer input through a hash table whose
+    constant factor dominates the partitioner's per-level frontier
+    dedups (thousands of calls); a plain sort is several times faster
+    at every size that matters here and returns the same sorted array.
+    """
+    if a.size == 0:
+        return a
+    a = np.sort(a)
+    return a[np.concatenate(([True], a[1:] != a[:-1]))]
+
+
+def _build_sym_csr(n: int,
+                   edges: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR adjacency (row_ptr, col) over the symmetric edge array, so
+    frontier expansions touch only frontier adjacencies instead of
+    rescanning the whole edge array once per BFS level."""
+    rp = np.zeros(n + 1, dtype=_IDX)
+    if edges.size == 0:
+        return rp, np.empty(0, dtype=_IDX)
+    src, dst = edges[:, 0], edges[:, 1]
+    np.cumsum(np.bincount(src, minlength=n), out=rp[1:])
+    return rp, dst[np.argsort(src, kind="stable")]
+
+
+def _neighbors(rp: np.ndarray, ci: np.ndarray,
+               frontier: np.ndarray) -> np.ndarray:
+    """All adjacency entries of ``frontier`` in one vectorized gather."""
+    starts = rp[frontier]
+    deg = rp[frontier + 1] - starts
+    total = int(deg.sum())
+    if total == 0:
+        return ci[:0]
+    base = np.repeat(starts - np.concatenate(
+        ([0], np.cumsum(deg)[:-1])), deg)
+    return ci[base + np.arange(total, dtype=_IDX)]
+
+
+def _sym_levels(n: int, rp: np.ndarray, ci: np.ndarray,
+                sources: np.ndarray) -> np.ndarray:
+    """Multi-source BFS hop distances over the symmetric CSR."""
+    level = np.full(n, -1, dtype=_IDX)
+    level[sources] = 0
+    frontier = np.unique(sources)
+    depth = 0
+    while frontier.size:
+        depth += 1
+        cand = _neighbors(rp, ci, frontier)
+        new = _uniq(cand[level[cand] < 0]) if cand.size else cand
+        if new.size == 0:
+            break
+        level[new] = depth
+        frontier = new
+    return level
+
+
+def _components(n: int, rp: np.ndarray, ci: np.ndarray) -> np.ndarray:
+    """Connected-component id per vertex over the symmetric edge set.
+
+    Degree-0 vertices are labelled without a BFS so graphs with many
+    isolated vertices (RMAT tails) stay cheap.
+    """
+    comp = np.full(n, -1, dtype=_IDX)
+    has_edge = rp[1:] > rp[:-1] if n else np.zeros(0, dtype=bool)
+    cid = 0
+    for v in range(n):
+        if comp[v] >= 0:
+            continue
+        if not has_edge[v]:
+            comp[v] = cid
+        else:
+            lv = _sym_levels(n, rp, ci, np.array([v], dtype=_IDX))
+            comp[lv >= 0] = cid
+        cid += 1
+    return comp
+
+
+def _seed_component(n: int, rp: np.ndarray, ci: np.ndarray,
+                    member: np.ndarray, seats: int, start: int) -> list:
+    """Farthest-point seeds inside one component (``member`` mask)."""
+    big = np.iinfo(_IDX).max
+    lv = _sym_levels(n, rp, ci, np.array([start], dtype=_IDX))
+    lv = np.where(member, lv, -1)
+    far = np.flatnonzero(lv == lv.max())
+    seeds = [int(far[0])]
+    mindist = _sym_levels(n, rp, ci, np.array(seeds, dtype=_IDX))
+    while len(seeds) < seats:
+        d = np.where(member, np.where(mindist < 0, big, mindist), -1)
+        d[np.asarray(seeds, dtype=_IDX)] = -1
+        nxt = int(np.argmax(d))  # ties -> smallest id
+        seeds.append(nxt)
+        lv = _sym_levels(n, rp, ci, np.array([nxt], dtype=_IDX))
+        lv = np.where(lv < 0, big, lv)
+        mindist = np.minimum(np.where(mindist < 0, big, mindist), lv)
+    return seeds
+
+
+def _pick_seeds(n: int, rp: np.ndarray, ci: np.ndarray, k: int,
+                rng) -> np.ndarray:
+    """Seed selection: seats per connected component proportional to
+    size (largest-remainder), farthest-point placement inside each.
+
+    Without the per-component allocation a disconnected graph puts all
+    late seeds in tiny satellite components (they look "far" from every
+    earlier seed), and the giant component collapses into one district.
+    """
+    comp = _components(n, rp, ci)
+    counts = np.bincount(comp)
+    n_comp = counts.size
+    seats = np.floor(k * counts / n).astype(_IDX)
+    seats = np.minimum(seats, counts)
+    remainder = k * counts / n - seats
+    # Hand leftover seats to the largest remainders (ties -> bigger
+    # component, then smaller component id), capped at component size.
+    order = np.lexsort((np.arange(n_comp), -counts, -remainder))
+    i = 0
+    while seats.sum() < k and i < 2 * n_comp:
+        c = int(order[i % n_comp])
+        if seats[c] < counts[c]:
+            seats[c] += 1
+        i += 1
+    start = int(rng.integers(0, n))
+    seeds: list = []
+    for c in np.argsort(-counts, kind="stable"):
+        if seats[c] == 0:
+            continue
+        member = comp == c
+        local_start = start if member[start] else int(
+            np.flatnonzero(member)[0])
+        seeds.extend(_seed_component(n, rp, ci, member, int(seats[c]),
+                                     local_start))
+    return np.asarray(seeds[:k], dtype=_IDX)
+
+
+def _grow_regions(n: int, rp: np.ndarray, ci: np.ndarray,
+                  edges: np.ndarray, seeds: np.ndarray,
+                  k: int) -> np.ndarray:
+    """Capacity-limited multi-source BFS growing; returns labels."""
+    labels = np.full(n, -1, dtype=_IDX)
+    sizes = np.zeros(k, dtype=_IDX)
+    cap = -(-n // k)  # ceil(n / k)
+    frontiers = []
+    for d, s in enumerate(seeds):
+        labels[s] = d
+        sizes[d] += 1
+        frontiers.append(np.array([s], dtype=_IDX))
+    src, dst = (edges[:, 0], edges[:, 1]) if edges.size else (
+        np.empty(0, dtype=_IDX), np.empty(0, dtype=_IDX))
+    n_unlabelled = n - len(seeds)
+    progress = True
+    while progress and n_unlabelled > 0:
+        progress = False
+        # Smallest district claims first so lagging regions catch up.
+        for d in sorted(range(k), key=lambda i: (int(sizes[i]), i)):
+            room = cap - int(sizes[d])
+            if room <= 0 or frontiers[d].size == 0:
+                continue
+            cand = _neighbors(rp, ci, frontiers[d])
+            cand = _uniq(cand[labels[cand] < 0]) if cand.size else cand
+            take = cand[:room]
+            frontiers[d] = take
+            if take.size:
+                labels[take] = d
+                sizes[d] += take.size
+                n_unlabelled -= take.size
+                progress = True
+    # Starved vertices: absorb into the smallest adjacent district,
+    # one wave at a time so absorption stays breadth-first.  The live
+    # boundary (labelled -> unlabelled arcs) is maintained incrementally
+    # — a full-arc rescan per wave turns high-diameter graphs quadratic.
+    if src.size:
+        live = (labels[src] >= 0) & (labels[dst] < 0)
+        a_src, a_dst = src[live], dst[live]
+    else:
+        a_src, a_dst = src, dst
+    while a_src.size:
+        cand_lab = labels[a_src]
+        # Per vertex, adopt the adjacent district minimizing (size, id).
+        key = sizes[cand_lab] * k + cand_lab
+        best = np.full(n, np.iinfo(_IDX).max, dtype=_IDX)
+        np.minimum.at(best, a_dst, key)
+        touched = np.flatnonzero(best < np.iinfo(_IDX).max)
+        adopted = best[touched] % k
+        labels[touched] = adopted
+        sizes += np.bincount(adopted, minlength=k)
+        # Arcs out of freshly labelled vertices may open new boundary;
+        # arcs whose target just got labelled leave it.
+        a_src = np.concatenate([
+            a_src, np.repeat(touched, rp[touched + 1] - rp[touched])])
+        a_dst = np.concatenate([a_dst, _neighbors(rp, ci, touched)])
+        keep = labels[a_dst] < 0
+        a_src, a_dst = a_src[keep], a_dst[keep]
+    # Disconnected leftovers: round-robin onto the smallest districts.
+    for v in np.flatnonzero(labels < 0):
+        d = int(np.lexsort((np.arange(k), sizes))[0])
+        labels[v] = d
+        sizes[d] += 1
+    return labels
+
+
+def _rebalance(n: int, edges: np.ndarray, labels: np.ndarray, k: int,
+               max_size: int) -> np.ndarray:
+    """Trim over-cap districts by batched boundary moves.
+
+    The capped growing phase can still overflow: when a region is
+    walled in by full districts, starved-segment absorption has nowhere
+    else to put it.  This phase shaves each over-cap district by moving
+    boundary vertices to the *smallest* adjacent district with room —
+    batched per iteration (everything on the same receiving boundary
+    moves together), looping because each move exposes new boundary.
+    """
+    if edges.size == 0 or k <= 1:
+        return labels
+    labels = labels.copy()
+    sizes = np.bincount(labels, minlength=k).astype(_IDX)
+    src, dst = edges[:, 0], edges[:, 1]
+    for _ in range(n):  # every iteration moves >= 1 vertex or breaks
+        if not np.any(sizes > max_size):
+            break
+        moved = False
+        # Diffuse along the size gradient: every district (largest
+        # first) sheds to its smallest strictly-smaller neighbour, so
+        # overflow walled in by full districts still drains through
+        # them toward distant slack (a pure over->under rule deadlocks
+        # on chains).  Each move lowers sum(sizes^2), so this
+        # terminates.  The boundary is scanned once per iteration (not
+        # once per district); moves earlier in the same iteration are
+        # filtered out at apply time, so sizes stay exact.
+        lab_s, lab_d = labels[src], labels[dst]
+        cross = lab_s != lab_d
+        x_v, x_from, x_to = src[cross], lab_s[cross], lab_d[cross]
+        for d in np.argsort(-sizes, kind="stable"):
+            d = int(d)
+            m = x_from == d
+            if not np.any(m):
+                continue
+            cand_v, cand_to = x_v[m], x_to[m]
+            still = labels[cand_v] == d
+            cand_v, cand_to = cand_v[still], cand_to[still]
+            smaller = sizes[cand_to] < sizes[d]
+            if not np.any(smaller):
+                continue
+            cand_v, cand_to = cand_v[smaller], cand_to[smaller]
+            to = int(cand_to[np.argmin(sizes[cand_to] * k + cand_to)])
+            batch = _uniq(cand_v[cand_to == to])
+            quota = max(1, int(sizes[d] - sizes[to]) // 2)
+            batch = batch[:quota]
+            labels[batch] = to
+            sizes[d] -= batch.size
+            sizes[to] += batch.size
+            moved = True
+        if not moved:
+            break
+    return labels
+
+
+def _refine(n: int, edges: np.ndarray, labels: np.ndarray, k: int,
+            passes: int, balance_slack: float) -> np.ndarray:
+    """Hess-style boundary-improvement passes (gain > 0 moves only)."""
+    if edges.size == 0 or k <= 1:
+        return labels
+    labels = labels.copy()
+    sizes = np.bincount(labels, minlength=k).astype(_IDX)
+    target = n / k
+    max_size = int(math.ceil(target * (1.0 + balance_slack)))
+    min_size = max(1, int(math.floor(target * (1.0 - balance_slack))))
+    src, dst = edges[:, 0], edges[:, 1]
+    # Per-vertex neighbour lists over the symmetric edge set, for exact
+    # gain recomputation at apply time.
+    order = np.argsort(src, kind="stable")
+    nbr_ptr = np.zeros(n + 1, dtype=_IDX)
+    np.cumsum(np.bincount(src, minlength=n), out=nbr_ptr[1:])
+    nbr = dst[order]
+    for _ in range(max(0, passes)):
+        conn = np.bincount(src * k + labels[dst],
+                           minlength=n * k).reshape(n, k).astype(_IDX)
+        own = conn[np.arange(n), labels]
+        masked = conn.copy()
+        masked[np.arange(n), labels] = -1
+        best = np.argmax(masked, axis=1)  # ties -> smallest district id
+        gain = masked[np.arange(n), best] - own
+        cand = np.flatnonzero(gain > 0)
+        if cand.size == 0:
+            break
+        moved = 0
+        # Highest-gain first; vertex id breaks ties deterministically.
+        for v in cand[np.lexsort((cand, -gain[cand]))]:
+            v = int(v)
+            d_from, d_to = int(labels[v]), int(best[v])
+            if sizes[d_to] >= max_size or sizes[d_from] <= min_size:
+                continue
+            # Re-count against *current* labels: earlier moves this pass
+            # may have flipped neighbours, making the cached gain stale.
+            nb = nbr[nbr_ptr[v]:nbr_ptr[v + 1]]
+            counts = np.bincount(labels[nb], minlength=k)
+            live = counts[d_to] - counts[d_from]
+            if live <= 0:
+                continue
+            labels[v] = d_to
+            sizes[d_from] -= 1
+            sizes[d_to] += 1
+            moved += 1
+        if moved == 0:
+            break
+    return labels
+
+
+def partition_labels(graph: CSRGraph, k: int, *, seed: RngLike = 0,
+                     refine_passes: int = 4,
+                     balance_slack: float = 0.10) -> np.ndarray:
+    """District label per vertex (the raw assignment, no tables built)."""
+    n = graph.n_vertices
+    if k < 1:
+        raise GraphFormatError(f"partition k must be >= 1, got {k}")
+    if n == 0:
+        return np.empty(0, dtype=_IDX)
+    k = min(k, n)
+    if k == 1:
+        return np.zeros(n, dtype=_IDX)
+    rng = make_rng(seed)
+    edges = _symmetric_edges(graph)
+    rp, ci = _build_sym_csr(n, edges)
+    seeds = _pick_seeds(n, rp, ci, k, rng)
+    labels = _grow_regions(n, rp, ci, edges, seeds, k)
+    max_size = int(math.ceil((n / k) * (1.0 + balance_slack)))
+    labels = _rebalance(n, edges, labels, k, max_size)
+    return _refine(n, edges, labels, k, refine_passes, balance_slack)
+
+
+def partition_quality(graph: CSRGraph, labels: np.ndarray) -> Dict:
+    """Quality metrics of a label assignment on ``graph``.
+
+    ``edge_cut_fraction`` counts *stored* arcs crossing districts (both
+    directions of an undirected edge, matching ``n_edges`` semantics);
+    ``balance_factor`` is ``max district size / (n / k)`` — 1.0 is
+    perfect balance.
+    """
+    labels = np.asarray(labels, dtype=_IDX)
+    n = graph.n_vertices
+    if labels.shape != (n,):
+        raise GraphFormatError(
+            f"labels must have shape ({n},), got {labels.shape}")
+    k = int(labels.max()) + 1 if n else 1
+    edges = graph.edge_array()
+    cut = int(np.sum(labels[edges[:, 0]] != labels[edges[:, 1]])) \
+        if edges.size else 0
+    sizes = np.bincount(labels, minlength=k) if n else np.zeros(k, dtype=_IDX)
+    balance = float(sizes.max() / (n / k)) if n else 1.0
+    return {
+        "k": k,
+        "n_cut_edges": cut,
+        "edge_cut_fraction": (cut / graph.n_edges) if graph.n_edges else 0.0,
+        "balance_factor": balance,
+        "district_sizes": [int(s) for s in sizes],
+    }
+
+
+# ----------------------------------------------------------------------
+# Partition product: districts + halo tables
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class District:
+    """One shard: an induced subgraph plus its outgoing halo table.
+
+    ``global_ids`` maps local vertex ``l`` to its global id (ascending,
+    so sorted adjacency survives relabelling).  The cut table lists
+    every stored arc leaving this district, sorted by ``(src_global,
+    dst_global)``; ``cut_dst_district`` / ``cut_dst_local`` address the
+    receiving side so the round protocol can deliver activations
+    without touching global arrays.
+    """
+
+    index: int
+    global_ids: np.ndarray
+    subgraph: CSRGraph
+    cut_src_local: np.ndarray
+    cut_src_global: np.ndarray
+    cut_dst_global: np.ndarray
+    cut_dst_district: np.ndarray
+    cut_dst_local: np.ndarray
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.global_ids.size)
+
+    @property
+    def n_cut_edges(self) -> int:
+        return int(self.cut_src_global.size)
+
+
+@dataclass(frozen=True)
+class PartitionedCSR:
+    """A k-way partition of a CSR graph with halo/cut-edge tables."""
+
+    graph: CSRGraph
+    k: int
+    seed: int
+    labels: np.ndarray
+    local_ids: np.ndarray  # global id -> local id inside its district
+    districts: Tuple[District, ...]
+    n_cut_edges: int
+    edge_cut_fraction: float
+    balance_factor: float
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def quality(self) -> Dict:
+        """The metrics dict (same shape as :func:`partition_quality`)."""
+        return {
+            "k": self.k,
+            "n_cut_edges": self.n_cut_edges,
+            "edge_cut_fraction": self.edge_cut_fraction,
+            "balance_factor": self.balance_factor,
+            "district_sizes": [d.n_vertices for d in self.districts],
+        }
+
+    def check_invariants(self) -> None:
+        """Raise :class:`GraphFormatError` on any structural violation.
+
+        Checked: every vertex in exactly one district; local ids round
+        trip; internal + cut arcs conserve the global arc count; every
+        cut arc appears in exactly one halo table with a correct
+        receiving address.
+        """
+        n = self.graph.n_vertices
+        seen = np.zeros(n, dtype=np.int64)
+        for d in self.districts:
+            seen[d.global_ids] += 1
+            if not np.array_equal(self.local_ids[d.global_ids],
+                                  np.arange(d.n_vertices)):
+                raise GraphFormatError(
+                    f"district {d.index}: local_ids do not round trip")
+            if np.any(self.labels[d.global_ids] != d.index):
+                raise GraphFormatError(
+                    f"district {d.index}: labels disagree with membership")
+        if n and not np.array_equal(seen, np.ones(n, dtype=np.int64)):
+            bad = np.flatnonzero(seen != 1)
+            raise GraphFormatError(
+                f"vertices {bad[:8].tolist()} are in {seen[bad[0]]} "
+                f"districts (want exactly 1)")
+        internal = sum(d.subgraph.n_edges for d in self.districts)
+        cut = sum(d.n_cut_edges for d in self.districts)
+        if internal + cut != self.graph.n_edges:
+            raise GraphFormatError(
+                f"arc conservation violated: {internal} internal + {cut} "
+                f"cut != {self.graph.n_edges} stored arcs")
+        if cut != self.n_cut_edges:
+            raise GraphFormatError(
+                f"halo tables carry {cut} arcs, header says "
+                f"{self.n_cut_edges}")
+        for d in self.districts:
+            if d.cut_src_global.size and np.any(
+                    self.labels[d.cut_src_global] != d.index):
+                raise GraphFormatError(
+                    f"district {d.index}: cut arc sourced outside it")
+            if np.any(d.cut_dst_district == d.index):
+                raise GraphFormatError(
+                    f"district {d.index}: cut arc landing inside itself")
+            if d.cut_dst_global.size:
+                if np.any(self.labels[d.cut_dst_global]
+                          != d.cut_dst_district):
+                    raise GraphFormatError(
+                        f"district {d.index}: cut arc routed to the "
+                        f"wrong district")
+                if np.any(self.local_ids[d.cut_dst_global]
+                          != d.cut_dst_local):
+                    raise GraphFormatError(
+                        f"district {d.index}: cut arc local address "
+                        f"mismatch")
+
+
+def partition_graph(graph: CSRGraph, k: int, *, seed: RngLike = 0,
+                    refine_passes: int = 4,
+                    balance_slack: float = 0.10) -> PartitionedCSR:
+    """Partition ``graph`` into ``k`` balanced districts.
+
+    Deterministic under ``seed``.  ``k`` is clamped to ``n_vertices``;
+    ``k=1`` degenerates to the whole graph in one district (no cut).
+    """
+    labels = partition_labels(graph, k, seed=seed,
+                              refine_passes=refine_passes,
+                              balance_slack=balance_slack)
+    n = graph.n_vertices
+    k_eff = int(labels.max()) + 1 if n else 1
+    local_ids = np.full(n, -1, dtype=_IDX)
+    edges = graph.edge_array()
+    e_src = edges[:, 0] if edges.size else np.empty(0, dtype=_IDX)
+    e_dst = edges[:, 1] if edges.size else np.empty(0, dtype=_IDX)
+    members = [np.flatnonzero(labels == d) for d in range(k_eff)]
+    for gids in members:
+        local_ids[gids] = np.arange(gids.size)
+    districts = []
+    for d in range(k_eff):
+        gids = members[d]
+        sub = graph.subgraph(gids).with_name(
+            f"{graph.name or 'graph'}#d{d}", district=d)
+        m = (labels[e_src] == d) & (labels[e_dst] != d) if edges.size \
+            else np.zeros(0, dtype=bool)
+        cs, cd = e_src[m], e_dst[m]
+        order = np.lexsort((cd, cs))
+        cs, cd = cs[order], cd[order]
+        districts.append(District(
+            index=d,
+            global_ids=gids,
+            subgraph=sub,
+            cut_src_local=local_ids[cs],
+            cut_src_global=cs,
+            cut_dst_global=cd,
+            cut_dst_district=labels[cd] if cd.size else cd,
+            cut_dst_local=local_ids[cd],
+        ))
+    quality = partition_quality(graph, labels)
+    part = PartitionedCSR(
+        graph=graph,
+        k=k_eff,
+        seed=int(seed) if isinstance(seed, (int, np.integer)) else -1,
+        labels=labels,
+        local_ids=local_ids,
+        districts=tuple(districts),
+        n_cut_edges=quality["n_cut_edges"],
+        edge_cut_fraction=quality["edge_cut_fraction"],
+        balance_factor=quality["balance_factor"],
+        meta={"requested_k": int(k), "refine_passes": int(refine_passes),
+              "balance_slack": float(balance_slack)},
+    )
+    return part

@@ -27,6 +27,7 @@ from repro.serve.protocol import (
     QUERY_OPS,
     dfs_result_to_dict,
     frontier_result_to_dict,
+    sharded_result_to_dict,
 )
 
 __all__ = [
@@ -188,9 +189,22 @@ def execute_query(wire_graph, op: str, root: int,
 # Batched DFS.
 # ---------------------------------------------------------------------------
 
+def _sharded(graph, root: int, overrides, shards: int,
+             jobs: int) -> Dict[str, Any]:
+    # Overrides are validated but don't parameterize the shard tier:
+    # routing pins override-carrying queries to plain DFS before they
+    # get here (a parameterized query asks for a specific simulation).
+    build_engine_config(overrides)
+    from repro.core.shard import run_sharded
+
+    res = run_sharded(graph, root, k=shards, jobs=jobs)
+    return sharded_result_to_dict(res)
+
+
 def execute_dfs_batch(wire_graph,
                       tasks: List[Tuple[int, Optional[Dict[str, Any]]]],
-                      backend: str = "dfs") -> List[Dict[str, Any]]:
+                      backend: str = "dfs", shards: int = 0,
+                      shard_jobs: int = 0) -> List[Dict[str, Any]]:
     """Execute ``[(root, config-overrides), ...]`` DFS queries, batched.
 
     Hive-eligible, mutually compatible tasks run as one
@@ -204,11 +218,30 @@ def execute_dfs_batch(wire_graph,
     instead (admission never mixes backends in one batch, so the whole
     batch shares the resolved backend); frontier runs are per-root
     array passes with no lockstep analogue, so the batch is a loop.
+
+    ``backend="shard"`` answers every task with the sharded tier
+    (:func:`repro.core.shard.run_sharded`, ``k = shards`` districts,
+    ``jobs = shard_jobs`` concurrent district workers).  Shard batches
+    always execute in the daemon process — the shard tier leases the
+    worker pool itself, one engine per district, so shipping the batch
+    to a pool worker would nest pools.
     """
     graph = _resolve(wire_graph)
     if backend == "frontier":
         return [execute_query(graph, "dfs", root, ov, backend="frontier")
                 for root, ov in tasks]
+    if backend == "shard":
+        out: List[Dict[str, Any]] = []
+        for root, ov in tasks:
+            try:
+                if root < 0 or root >= graph.n_vertices:
+                    raise ProtocolError(
+                        f"root {root} out of range for "
+                        f"{graph.n_vertices} vertices")
+                out.append(_sharded(graph, root, ov, shards, shard_jobs))
+            except ReproError as exc:
+                out.append(_error_marker(exc))
+        return out
     n = graph.n_vertices
     try:
         configs = [build_engine_config(ov) for _, ov in tasks]

@@ -39,7 +39,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.config import ServeConfig
+from repro.core.config import SHARD_MIN_VERTICES, ServeConfig
 from repro.errors import ProtocolError, ReproError, ServeError
 from repro.serve.admission import Batch, BatchPolicy
 from repro.serve.cache import (
@@ -71,7 +71,7 @@ class ServerStats:
         "connections", "requests", "responses", "errors",
         "cache_hits", "cache_misses", "coalesced",
         "batches", "batched_queries", "hive_batches",
-        "backend_dfs", "backend_frontier",
+        "backend_dfs", "backend_frontier", "backend_shard",
         "pool_broken", "shm_fallbacks", "inline_fallbacks",
         "dropped_responses", "protocol_errors",
     )
@@ -328,6 +328,7 @@ class ServeServer:
                 "jobs": self.config.jobs,
                 "cache_entries": self.config.cache_entries,
                 "backend": self.config.backend,
+                "shards": self.config.shards,
             },
             "pending": self.policy.pending_count(),
             "inflight_batches": len(self._exec_tasks),
@@ -373,9 +374,19 @@ class ServeServer:
 
         regime = (entry.regime()
                   if self.config.backend == "auto" else None)
-        return choose_backend(requested=self.config.backend,
-                              regime=regime,
-                              overrides=req.config).backend
+        backend = choose_backend(requested=self.config.backend,
+                                 regime=regime,
+                                 overrides=req.config).backend
+        # Shard-tier promotion: with the knob on, override-free DFS
+        # queries on large graphs go to the sharded execution tier.
+        # Parameterized queries ask for a specific single-engine
+        # simulation and small graphs don't amortize the round barrier
+        # (SHARD_MIN_VERTICES), so both stay on plain DFS.
+        if (backend == "dfs" and self.config.shards >= 2
+                and not req.config
+                and entry.graph.n_vertices >= SHARD_MIN_VERTICES):
+            return "shard"
+        return backend
 
     async def _dispatch_query(self, req: Request) -> bytes:
         loop = asyncio.get_running_loop()
@@ -389,8 +400,14 @@ class ServeServer:
 
             build_engine_config(req.config)
             backend = self._resolve_backend(entry, req)
+        # Shard payloads carry k-dependent modeled cost (cycles, rounds,
+        # counters), so the district count is part of the key — a live
+        # reconfiguration to a different k must not replay k-stale
+        # payloads.
+        key_backend = (f"shard:{self.config.shards}"
+                       if backend == "shard" else backend)
         key = result_key(req.op, req.root, req.config, entry.fingerprint,
-                         backend)
+                         key_backend)
         cache = self._cache_for(entry)
 
         if not req.no_cache:
@@ -478,8 +495,17 @@ class ServeServer:
                          for p in pendings]
                 backend = pendings[0].backend  # admission-homogeneous
                 self.stats.bump(f"backend_{backend}", width)
-                results = await self._execute(
-                    execute_dfs_batch, entry, tasks, backend)
+                if backend == "shard":
+                    # Always in the daemon process: the shard tier
+                    # leases the worker pool itself (one engine per
+                    # district), so shipping it to a pool worker would
+                    # nest pools.
+                    results = await self._execute_inline(
+                        execute_dfs_batch, entry, tasks, "shard",
+                        self.config.shards, max(1, self.config.jobs))
+                else:
+                    results = await self._execute(
+                        execute_dfs_batch, entry, tasks, backend)
             else:
                 req = pendings[0].request
                 results = [await self._execute(
@@ -556,6 +582,11 @@ class ServeServer:
                     harness.release_pool(handle)
                     return out
             self.stats.bump("inline_fallbacks")
+        return await self._execute_inline(fn, entry, *args)
+
+    async def _execute_inline(self, fn, entry: ResidentGraph, *args):
+        """Run ``fn(graph, *args)`` on the daemon's bounded thread pool."""
+        loop = asyncio.get_running_loop()
         if self._thread_exec is None:
             self._thread_exec = ThreadPoolExecutor(
                 max_workers=2, thread_name_prefix="serve-exec")

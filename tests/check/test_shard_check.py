@@ -1,0 +1,90 @@
+"""The shard-diff oracle rung (5f): clean passes, corrupted merges caught."""
+
+import numpy as np
+import pytest
+
+from repro.check.cases import case_from_seed
+from repro.check.differential import check_case
+from repro.errors import SimulationError
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_clean_cases_pass_with_shard_rung(seed):
+    assert check_case(case_from_seed(seed), shard=True) is None
+
+
+def test_visited_corruption_is_caught(monkeypatch):
+    import repro.core.shard as shard_mod
+
+    case = case_from_seed(0)
+    real = shard_mod.run_sharded
+
+    def corrupted(graph, root, **kwargs):
+        from repro.validate.reference import UNVISITED_PARENT
+
+        res = real(graph, root, **kwargs)
+        visited = res.traversal.visited.copy()
+        parent = res.traversal.parent.copy()
+        drop = int(np.flatnonzero(visited)[-1])  # drop one vertex
+        visited[drop] = False
+        parent[drop] = UNVISITED_PARENT  # keep the traversal well-formed
+        object.__setattr__(res.traversal, "visited", visited)
+        object.__setattr__(res.traversal, "parent", parent)
+        return res
+
+    monkeypatch.setattr(shard_mod, "run_sharded", corrupted)
+    failure = check_case(case, shard=True)
+    assert failure is not None
+    assert failure.stage == "shard-diff"
+    assert "visited set" in failure.message  # caught by the rung's
+    # validate_traversal (reachability) before the visited-diff compare
+    assert failure.shard
+    assert "--shard" in failure.repro_command
+    assert f"repro {case.seed}" in failure.repro_command
+
+
+def test_level_corruption_is_caught(monkeypatch):
+    import repro.core.shard as shard_mod
+
+    case = case_from_seed(0)
+    real = shard_mod.run_sharded
+
+    def corrupted(graph, root, **kwargs):
+        res = real(graph, root, **kwargs)
+        levels = res.levels.copy()
+        deep = np.flatnonzero(levels >= 1)
+        if deep.size:
+            levels[deep[-1]] += 1
+            object.__setattr__(res, "levels", levels)
+        return res
+
+    monkeypatch.setattr(shard_mod, "run_sharded", corrupted)
+    failure = check_case(case, shard=True)
+    assert failure is not None
+    assert failure.stage == "shard-diff"
+    assert "bfs_levels" in failure.message
+
+
+def test_engine_error_is_caught(monkeypatch):
+    import repro.core.shard as shard_mod
+
+    def broken(graph, root, **kwargs):
+        raise SimulationError("shard tier exploded")
+
+    monkeypatch.setattr(shard_mod, "run_sharded", broken)
+    failure = check_case(case_from_seed(0), shard=True)
+    assert failure is not None
+    assert failure.stage == "shard-diff"
+    assert "SimulationError" in failure.message
+
+
+def test_rung_is_opt_in(monkeypatch):
+    # Without shard=True the rung must not run at all — a broken shard
+    # tier cannot fail the default ladder.
+    import repro.core.shard as shard_mod
+
+    def broken(graph, root, **kwargs):
+        raise SimulationError("must never be called")
+
+    monkeypatch.setattr(shard_mod, "run_sharded", broken)
+    assert check_case(case_from_seed(0)) is None

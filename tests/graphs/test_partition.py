@@ -1,0 +1,189 @@
+"""The balanced k-way partitioner: round trips, determinism, quality.
+
+The Hypothesis properties pin the :class:`PartitionedCSR` contract the
+sharded tier leans on — every vertex lands in exactly one district,
+every cut arc appears in exactly one halo table with a correct
+receiving address, and internal + cut arcs conserve the stored arc
+count — over arbitrary (directed, self-loopy, disconnected) graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graphs import generators as gen
+from repro.graphs.csr import from_edges
+from repro.graphs.partition import (
+    partition_graph,
+    partition_labels,
+    partition_quality,
+)
+from repro.graphs.properties import profile_graph
+from repro.utils.rng import make_rng
+
+
+def random_graph(seed, n_max=60):
+    rng = make_rng(seed)
+    n = int(rng.integers(1, n_max))
+    m = int(rng.integers(0, 4 * n))
+    edges = rng.integers(0, n, size=(m, 2))
+    directed = bool(rng.integers(0, 2))
+    return from_edges(n, edges, directed=directed, dedupe=True)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis round trips
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 10**6), k=st.integers(1, 6))
+@settings(max_examples=60)
+def test_every_vertex_in_exactly_one_district(seed, k):
+    g = random_graph(seed)
+    part = partition_graph(g, k, seed=seed)
+    seen = np.zeros(g.n_vertices, dtype=np.int64)
+    for d in part.districts:
+        seen[d.global_ids] += 1
+        # Local ids round trip through the global map.
+        assert np.array_equal(part.local_ids[d.global_ids],
+                              np.arange(d.n_vertices))
+    assert np.array_equal(seen, np.ones(g.n_vertices, dtype=np.int64))
+    assert sum(d.n_vertices for d in part.districts) == g.n_vertices
+
+
+@given(seed=st.integers(0, 10**6), k=st.integers(1, 6))
+@settings(max_examples=60)
+def test_every_cut_edge_in_exactly_one_halo_table(seed, k):
+    g = random_graph(seed)
+    part = partition_graph(g, k, seed=seed)
+    labels = part.labels
+    edges = g.edge_array()
+    cut_mask = (labels[edges[:, 0]] != labels[edges[:, 1]]) \
+        if edges.size else np.zeros(0, dtype=bool)
+    expected = edges[cut_mask]
+    halo = [np.column_stack([d.cut_src_global, d.cut_dst_global])
+            for d in part.districts if d.n_cut_edges]
+    halo = np.vstack(halo) if halo else np.empty((0, 2), dtype=np.int64)
+    # Same multiset of (src, dst) arcs, each listed exactly once.
+    order_e = np.lexsort((expected[:, 1], expected[:, 0]))
+    order_h = np.lexsort((halo[:, 1], halo[:, 0]))
+    assert np.array_equal(expected[order_e], halo[order_h])
+    # Receiving addresses resolve to the destination vertex.
+    for d in part.districts:
+        assert np.array_equal(labels[d.cut_dst_global], d.cut_dst_district)
+        assert np.array_equal(part.local_ids[d.cut_dst_global],
+                              d.cut_dst_local)
+        recv = [part.districts[int(dd)].global_ids[int(lo)]
+                for dd, lo in zip(d.cut_dst_district, d.cut_dst_local)]
+        assert np.array_equal(np.asarray(recv, dtype=np.int64),
+                              d.cut_dst_global)
+
+
+@given(seed=st.integers(0, 10**6), k=st.integers(1, 6))
+@settings(max_examples=60)
+def test_arc_conservation_and_invariant_checker(seed, k):
+    g = random_graph(seed)
+    part = partition_graph(g, k, seed=seed)
+    part.check_invariants()  # raises on any structural violation
+    internal = sum(d.subgraph.n_edges for d in part.districts)
+    assert internal + part.n_cut_edges == g.n_edges
+
+
+@given(seed=st.integers(0, 10**6), k=st.integers(1, 6))
+@settings(max_examples=40)
+def test_subgraph_arcs_are_the_induced_internal_arcs(seed, k):
+    g = random_graph(seed)
+    part = partition_graph(g, k, seed=seed)
+    for d in part.districts:
+        sub = d.subgraph
+        src_l = np.repeat(np.arange(sub.n_vertices, dtype=np.int64),
+                          np.diff(sub.row_ptr))
+        src_g = d.global_ids[src_l]
+        dst_g = d.global_ids[sub.column_idx]
+        for u, v in zip(src_g[:50], dst_g[:50]):
+            assert g.has_edge(int(u), int(v))
+        assert np.all(part.labels[src_g] == d.index)
+        assert np.all(part.labels[dst_g] == d.index)
+
+
+@given(seed=st.integers(0, 10**6), k=st.integers(1, 6))
+@settings(max_examples=40)
+def test_deterministic_under_seed(seed, k):
+    g = random_graph(seed)
+    a = partition_labels(g, k, seed=7)
+    b = partition_labels(g, k, seed=7)
+    assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Quality + API edges
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("build,k", [
+    (lambda: gen.grid2d(40, 40), 4),
+    (lambda: gen.delaunay_mesh(1500, seed=3), 4),
+    (lambda: gen.road_network(1500, seed=3), 4),
+    (lambda: gen.random_geometric(1500, seed=3), 8),
+])
+def test_mesh_like_quality(build, k):
+    """On low-expansion families the partitioner must actually be good:
+    small cut, near-perfect balance (the bench gate's quality bar)."""
+    g = build()
+    part = partition_graph(g, k, seed=7)
+    assert part.edge_cut_fraction <= 0.25
+    assert part.balance_factor <= 1.2
+    assert part.quality()["district_sizes"] == \
+        [d.n_vertices for d in part.districts]
+
+
+def test_k1_is_the_whole_graph():
+    g = gen.binary_tree(6)
+    part = partition_graph(g, 1, seed=0)
+    assert part.k == 1 and part.n_cut_edges == 0
+    assert part.edge_cut_fraction == 0.0 and part.balance_factor == 1.0
+    sub = part.districts[0].subgraph
+    assert sub.n_edges == g.n_edges
+    assert np.array_equal(sub.row_ptr, g.row_ptr)
+    assert np.array_equal(sub.column_idx, g.column_idx)
+
+
+def test_k_clamped_to_n_vertices():
+    g = gen.path_graph(3)
+    part = partition_graph(g, 8, seed=0)
+    assert part.k <= 3
+    part.check_invariants()
+
+
+def test_k_below_one_rejected():
+    with pytest.raises(GraphFormatError):
+        partition_labels(gen.path_graph(4), 0)
+
+
+def test_quality_rejects_bad_label_shape():
+    g = gen.path_graph(5)
+    with pytest.raises(GraphFormatError):
+        partition_quality(g, np.zeros(3, dtype=np.int64))
+
+
+def test_disconnected_components_all_covered():
+    # Two far-apart cliques plus isolated vertices: seeds must spread
+    # across components and the leftovers still get a district.
+    edges = [(u, v) for u in range(5) for v in range(5) if u != v]
+    edges += [(u + 8, v + 8) for u, v in edges]
+    g = from_edges(16, edges, name="two-cliques")
+    part = partition_graph(g, 4, seed=1)
+    part.check_invariants()
+    assert np.all(part.labels >= 0)
+    assert part.balance_factor <= 2.0  # no district swallowed the graph
+
+
+def test_profile_graph_surfaces_partition_quality():
+    g = gen.grid2d(24, 24)
+    prof = profile_graph(g, partition_k=4, partition_seed=7)
+    expected = partition_quality(g, partition_labels(g, 4, seed=7))
+    assert prof.partition_k == expected["k"]
+    assert prof.edge_cut_fraction == expected["edge_cut_fraction"]
+    assert prof.balance_factor == expected["balance_factor"]
+    # Without the knob the fields stay None (no partition computed).
+    bare = profile_graph(g)
+    assert bare.partition_k is None
+    assert bare.edge_cut_fraction is None and bare.balance_factor is None

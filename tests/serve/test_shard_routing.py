@@ -1,0 +1,115 @@
+"""Shard-tier promotion in the daemon: knob, size floor, pinning, keys."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SHARD_MIN_VERTICES, ServeConfig
+from repro.core.diggerbees import run_diggerbees
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.serve.cache import result_key
+
+from tests.serve.conftest import serve_session
+
+
+def routing_graphs():
+    big = gen.grid2d(36, 36, name="big")       # 1296 >= SHARD_MIN_VERTICES
+    small = gen.path_graph(120, name="small")  # under the floor
+    assert big.n_vertices >= SHARD_MIN_VERTICES
+    assert small.n_vertices < SHARD_MIN_VERTICES
+    return {"big": big, "small": small}
+
+
+def make_config(shards):
+    return ServeConfig(batch_window=0.01, max_batch=8, jobs=0,
+                       cache_dir="off", shards=shards)
+
+
+def test_default_daemon_never_shards():
+    async def scenario(client, **_):
+        resp = await client.dfs("big", 0)
+        assert resp.ok and "cycles" in resp.result
+        assert resp.result.get("backend") != "shard"
+        status = await client.status()
+        assert status["config"]["shards"] == 0
+        assert status["stats"]["backend_shard"] == 0
+
+    serve_session(scenario, graphs=routing_graphs())
+
+
+def test_promotion_answers_big_graphs_with_the_shard_tier():
+    async def scenario(client, corpus, **_):
+        resp = await client.dfs("big", 0)
+        assert resp.ok
+        assert resp.result["backend"] == "shard"
+        assert resp.result["shards"] == 4
+        assert resp.result["rounds"] >= 1
+        # Reachability identical to the unsharded engine on this graph.
+        ref = run_diggerbees(corpus.get("big").graph, 0)
+        assert resp.result["n_visited"] == int(ref.traversal.n_visited)
+        status = await client.status()
+        assert status["config"]["shards"] == 4
+        assert status["stats"]["backend_shard"] == 1
+        assert status["stats"]["backend_dfs"] == 0
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=make_config(4))
+
+
+def test_small_graphs_stay_on_plain_dfs():
+    async def scenario(client, **_):
+        resp = await client.dfs("small", 0)
+        assert resp.ok and "cycles" in resp.result
+        assert resp.result.get("backend") != "shard"
+        status = await client.status()
+        assert status["stats"]["backend_shard"] == 0
+        assert status["stats"]["backend_dfs"] == 1
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=make_config(4))
+
+
+def test_engine_overrides_pin_to_plain_dfs():
+    # A parameterized query asks for one specific single-engine
+    # simulation; promotion must not reroute it.
+    async def scenario(client, **_):
+        resp = await client.query("dfs", "big", root=0,
+                                  config={"seed": 5}, no_cache=True)
+        assert resp.ok and "cycles" in resp.result
+        assert resp.result.get("backend") != "shard"
+        status = await client.status()
+        assert status["stats"]["backend_shard"] == 0
+        assert status["stats"]["backend_dfs"] == 1
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=make_config(2))
+
+
+def test_repeat_query_hits_the_cache_byte_identically():
+    async def scenario(client, **_):
+        first = await client.dfs("big", 0)
+        again = await client.dfs("big", 0)
+        assert first.result == again.result
+        status = await client.status()
+        assert status["stats"]["cache_hits"] == 1
+        assert status["stats"]["backend_shard"] == 1  # executed once
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=make_config(2))
+
+
+def test_cache_key_carries_the_district_count():
+    # Shard payloads carry k-dependent modeled cost, so a daemon
+    # reconfigured to a different k must not replay k-stale payloads.
+    fp = "deadbeef"
+    keys = {result_key("dfs", 0, None, fp, backend)
+            for backend in ("dfs", "shard:2", "shard:4")}
+    assert len(keys) == 3
+
+
+def test_shards_knob_validated():
+    with pytest.raises(SimulationError):
+        ServeConfig(shards=-1)
+    # 0 and 1 both mean "off" and are accepted.
+    assert ServeConfig(shards=0).shards == 0
+    assert ServeConfig(shards=1).shards == 1
