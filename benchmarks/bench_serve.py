@@ -201,15 +201,19 @@ def _histogram(lat_ms: List[float]) -> Dict[str, int]:
 # Verification phase.
 # ---------------------------------------------------------------------------
 
-async def verify_mix(client, mix, graphs, backend_knob: str = "dfs") -> int:
+async def verify_mix(client, mix, graphs, backend_knob: str = "dfs",
+                     batch_hint: int = 1) -> int:
     """Compare served payloads to direct execution; returns #mismatches.
 
     Every distinct (graph, root, config) is checked twice: once with
     ``no_cache`` (forcing a fresh daemon-side computation) and once
     through the cache — both must equal the payload computed directly
-    in this process.  ``backend_knob`` is the daemon's configured
-    backend; the expected payload is resolved through the same routing
-    policy, so the check is bit-exact whichever engine family answered.
+    in this process.  ``backend_knob`` / ``batch_hint`` are the
+    daemon's configured backend and admission width; the expected
+    payload is resolved through the same routing policy, so the check
+    is bit-exact whichever engine family answered (swarm lanes are
+    bit-identical to single-root frontier runs, so a one-lane direct
+    swarm reproduces any daemon-side batch width).
     """
     from repro.core.dispatch import choose_backend
     from repro.serve.exec import execute_query
@@ -220,7 +224,8 @@ async def verify_mix(client, mix, graphs, backend_knob: str = "dfs") -> int:
     for name, root, cfg_json in distinct:
         config = json.loads(cfg_json)
         decision = choose_backend(graphs[name], requested=backend_knob,
-                                  overrides=config)
+                                  overrides=config,
+                                  batch_hint=batch_hint)
         expected = execute_query(graphs[name], "dfs", root, config,
                                  backend=decision.backend)
         for no_cache in (True, False):
@@ -366,8 +371,9 @@ async def amain(args) -> int:
                 graphs = {n: local.get(n).graph for n in graph_names}
             status = await clients[0].status()
             backend_knob = status.get("config", {}).get("backend", "dfs")
+            batch_hint = int(status.get("config", {}).get("max_batch", 1))
             mismatches = await verify_mix(clients[0], mix, graphs,
-                                          backend_knob)
+                                          backend_knob, batch_hint)
             result["verify_mismatches"] = mismatches
             if mismatches:
                 rc = 1

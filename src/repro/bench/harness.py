@@ -67,12 +67,14 @@ class BenchConfig:
     #: Results are jobs-invariant: every sample is a pure function of
     #: (method, graph, root, cfg) and collection preserves task order.
     jobs: int = 1
-    #: Hive lockstep width (1 = scalar execution, today's exact path).
+    #: Lockstep width (1 = scalar execution, today's exact path).
     #: > 1 groups hive-eligible DiggerBees samples that share a graph
     #: into NumPy-batched shards of at most ``batch`` runs each
-    #: (:mod:`repro.core.hive`); shards compose with ``jobs`` as
-    #: processes x batches.  Samples are batch-invariant: the hive
-    #: engine is bit-identical to the scalar engines per run.
+    #: (:mod:`repro.core.hive`), and Frontier samples likewise into
+    #: swarm shards (:mod:`repro.core.swarm`); shards compose with
+    #: ``jobs`` as processes x batches.  Samples are batch-invariant:
+    #: both lockstep engines are bit-identical to the scalar engines
+    #: per run (only measured ``seconds`` amortize the batch wall).
     batch: int = 1
 
     def with_(self, **kwargs) -> "BenchConfig":
@@ -174,6 +176,18 @@ def _run_serial(graph, root, cfg: BenchConfig) -> PerfSample:
                    res.traversal.edges_traversed, res.cycles, res.seconds)
 
 
+def _run_frontier_method(graph, root, cfg: BenchConfig) -> PerfSample:
+    # Real host traversal, not a device simulation: seconds is measured
+    # wall clock and "cycles" has no meaning (recorded as 0).  Under
+    # ``batch > 1`` these samples are regrouped into lockstep swarm
+    # shards (see ``_fan_out_batched``) with identical per-root results.
+    from repro.core.frontier import run_frontier
+
+    res = run_frontier(graph, root)
+    return _sample("Frontier", graph, "host", root,
+                   res.edges_scanned, 0, res.seconds)
+
+
 DFS_METHODS: Dict[str, Callable] = {
     "CKL-PDFS": _run_ckl,
     "ACR-PDFS": _run_acr,
@@ -188,6 +202,7 @@ ALL_METHODS: Dict[str, Callable] = {
     **DFS_METHODS, **BFS_METHODS,
     "Serial-DFS": _run_serial,
     "Naive-GPU-DFS": _run_naive_gpu,
+    "Frontier": _run_frontier_method,
 }
 
 
@@ -249,16 +264,38 @@ def _hive_samples(graph, roots: List[int], cfg: BenchConfig,
     ]
 
 
+def _swarm_samples(graph, roots: List[int], cfg: BenchConfig,
+                   ) -> List[PerfSample]:
+    """Run one lockstep swarm shard; one sample per root, in order.
+
+    :func:`repro.core.swarm.run_swarm` amortizes the batch wall over its
+    lanes, so each sample's ``seconds`` is the per-root cost the shard
+    actually paid — the swarm analogue of the hive's per-run seconds.
+    """
+    from repro.core.swarm import run_swarm
+
+    results = run_swarm(graph, roots)
+    return [
+        _sample("Frontier", graph, "host", root,
+                res.edges_scanned, 0, res.seconds)
+        for root, res in zip(roots, results)
+    ]
+
+
 def _execute_unit(unit) -> List[PerfSample]:
     """Module-level worker for the batched fan-out.
 
-    A unit is ``("one", task)`` (a plain single sample) or
-    ``("hive", graph, roots, cfg)`` (a lockstep shard); either way the
-    result is the unit's samples in shard order.
+    A unit is ``("one", task)`` (a plain single sample),
+    ``("hive", graph, roots, cfg)`` (a lockstep DFS shard) or
+    ``("swarm", graph, roots, cfg)`` (a lockstep frontier shard); either
+    way the result is the unit's samples in shard order.
     """
     if unit[0] == "hive":
         _, graph, roots, cfg = unit
         return _hive_samples(_resolve_task_graph(graph), roots, cfg)
+    if unit[0] == "swarm":
+        _, graph, roots, cfg = unit
+        return _swarm_samples(_resolve_task_graph(graph), roots, cfg)
     return [_execute_task(unit[1])]
 
 
@@ -434,14 +471,18 @@ def _wire_graph(graph, exported: Dict[int, object]):
 
 def _fan_out_batched(tasks: List[tuple], jobs: int, batch: int,
                      ) -> List[PerfSample]:
-    """Batched fan-out: carve hive shards, execute units, reassemble.
+    """Batched fan-out: carve lockstep shards, execute units, reassemble.
 
     Hive-eligible DiggerBees tasks are grouped per (graph, cfg) and cut
-    into shards of at most ``batch`` roots; single-root shards and
-    every non-eligible task run as plain scalar units.  Units execute
-    in-process (``jobs <= 1``) or across the persistent pool, and each
-    sample lands back at its original task index, so the returned list
-    is positionally identical to the scalar fan-out.
+    into hive shards of at most ``batch`` roots; Frontier tasks sharing
+    a graph are grouped the same way into swarm shards
+    (:func:`repro.core.swarm.run_swarm` — the bit-matrix lockstep
+    analogue).  Single-root shards and every non-eligible task run as
+    plain scalar units.  Units execute in-process (``jobs <= 1``) or
+    across the persistent pool, and each sample lands back at its
+    original task index, so the returned list is positionally identical
+    to the scalar fan-out (swarm lanes are bit-identical to single-root
+    frontier runs; only ``seconds`` reflects the amortized batch wall).
     """
     from repro.core.hive import hive_eligible
 
@@ -449,16 +490,21 @@ def _fan_out_batched(tasks: List[tuple], jobs: int, batch: int,
     for i, (method, graph, root, cfg) in enumerate(tasks):
         if (method == "DiggerBees"
                 and hive_eligible(cfg.diggerbees_config())):
-            groups.setdefault((id(graph), id(cfg)), []).append(i)
+            groups.setdefault(("hive", id(graph), id(cfg)), []).append(i)
+        elif method == "Frontier":
+            # The frontier engine takes no per-task config: one shard
+            # per graph is always mergeable.
+            groups.setdefault(("swarm", id(graph)), []).append(i)
     grouped = {i for idxs in groups.values() for i in idxs}
 
-    units: List[tuple] = []   # ("one", task) | ("hive", graph, roots, cfg)
+    units: List[tuple] = []   # ("one", task) | (kind, graph, roots, cfg)
     owners: List[List[int]] = []  # original task indices per unit
     for i, task in enumerate(tasks):
         if i not in grouped:
             units.append(("one", task))
             owners.append([i])
-    for idxs in groups.values():
+    for key, idxs in groups.items():
+        kind = key[0]
         for lo in range(0, len(idxs), batch):
             chunk = idxs[lo:lo + batch]
             if len(chunk) == 1:  # no lockstep partner: skip slab setup
@@ -466,7 +512,7 @@ def _fan_out_batched(tasks: List[tuple], jobs: int, batch: int,
             else:
                 _, graph, _, cfg = tasks[chunk[0]]
                 units.append(
-                    ("hive", graph, [tasks[j][2] for j in chunk], cfg))
+                    (kind, graph, [tasks[j][2] for j in chunk], cfg))
             owners.append(chunk)
 
     if jobs <= 1 or len(units) <= 1:
@@ -477,10 +523,10 @@ def _fan_out_batched(tasks: List[tuple], jobs: int, batch: int,
             try:
                 wire_units = []
                 for u in units:
-                    if u[0] == "hive":
-                        _, graph, roots, cfg = u
+                    if u[0] in ("hive", "swarm"):
+                        kind, graph, roots, cfg = u
                         wire_units.append(
-                            ("hive", _wire_graph(graph, exported), roots,
+                            (kind, _wire_graph(graph, exported), roots,
                              cfg))
                     else:
                         method, graph, root, cfg = u[1]

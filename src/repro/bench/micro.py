@@ -29,11 +29,15 @@ cache pays generation cost; the hit/miss tally is part of the payload.
 ``--turbo`` runs every case through the turbo fused loop
 (:mod:`repro.core.turbo`); cycles/steps are bit-identical to the default
 engine, so the same baseline gates both modes.  ``--backend
-{auto,dfs,frontier}`` selects the engine *family*: ``frontier`` runs
-every case through the bit-packed SpMV engine
+{auto,dfs,frontier,swarm}`` selects the engine *family*: ``frontier``
+runs every case through the bit-packed SpMV engine
 (:mod:`repro.core.frontier`), recording MTEPS and the level profile
-instead of simulated cycles; ``auto`` routes each case per graph regime
-through :func:`repro.core.dispatch.choose_backend` (frontier-run cases
+instead of simulated cycles; ``swarm`` runs every case as ``--batch``
+lockstep lanes of the multi-root bit-matrix engine
+(:mod:`repro.core.swarm`) and records the amortized per-root wall —
+the frontier analogue of ``--batch`` on the hive; ``auto`` routes each
+case per graph regime through
+:func:`repro.core.dispatch.choose_backend` (frontier/swarm-run cases
 are exempt from the cycles/wall baseline gate — they have no simulated
 schedule; DFS-run cases stay gated).  ``--record`` appends the
 run to ``benchmarks/out/trajectory.jsonl`` (timestamped) and rewrites
@@ -173,7 +177,12 @@ def run_micro(repeats: int = 3,
     ``backend`` picks the engine family per case: ``"dfs"`` (default)
     is the simulation sweep above; ``"frontier"`` runs every case on
     the bit-packed SpMV engine (wall + MTEPS + level profile, no
-    simulated cycles); ``"auto"`` routes per graph regime through
+    simulated cycles); ``"swarm"`` runs every case as ``max(1, batch)``
+    lockstep lanes of the multi-root bit-matrix engine — the recorded
+    wall is the amortized per-root cost, lanes are asserted
+    bit-identical, and the payload mirrors the frontier rows (so the
+    swarm speedup over single-root frontier reads straight off the
+    trajectory); ``"auto"`` routes per graph regime through
     :func:`repro.core.dispatch.choose_backend`.
 
     The ``phases.simulate`` entry accumulates the per-case *median*
@@ -185,10 +194,18 @@ def run_micro(repeats: int = 3,
             "--batch selects the hive engine; it cannot be combined "
             "with --turbo"
         )
-    if backend not in ("auto", "dfs", "frontier"):
+    if backend not in ("auto", "dfs", "frontier", "swarm"):
         raise BenchmarkError(
-            f"backend must be auto, dfs, or frontier, got {backend!r}")
-    if backend != "dfs" and (turbo or batch):
+            f"backend must be auto, dfs, frontier, or swarm, "
+            f"got {backend!r}")
+    if backend == "swarm":
+        # Swarm *is* the batched tier: --batch sets its lane count.
+        if turbo:
+            raise BenchmarkError(
+                "--backend swarm selects the lockstep frontier engine; "
+                "it cannot be combined with --turbo"
+            )
+    elif backend != "dfs" and (turbo or batch):
         raise BenchmarkError(
             "--backend frontier/auto selects the engine family; it "
             "cannot be combined with --turbo or --batch"
@@ -211,6 +228,47 @@ def run_micro(repeats: int = 3,
 
                 use_frontier = (choose_backend(graph, requested="auto")
                                 .backend == "frontier")
+            if backend == "swarm":
+                from repro.core.swarm import run_swarm
+
+                lanes = max(1, batch)
+                sres = None
+                for _ in range(max(1, repeats)):
+                    t0 = time.perf_counter()
+                    results = run_swarm(graph, [0] * lanes)
+                    # Amortized per-root wall, the cost a batched sweep
+                    # actually pays per query (mirrors hive --batch).
+                    walls.append((time.perf_counter() - t0) / lanes)
+                sres = results[0]
+                for i, r in enumerate(results[1:], start=1):
+                    if (r.n_levels != sres.n_levels
+                            or r.edges_scanned != sres.edges_scanned
+                            or (r.pushes, r.pulls) != (sres.pushes,
+                                                       sres.pulls)):
+                        raise BenchmarkError(
+                            f"{name}: swarm lane {i} diverged; lockstep "
+                            f"determinism contract broken"
+                        )
+                wall = statistics.median(walls)
+                timer.add("simulate", wall)
+                cases.append({
+                    "name": name,
+                    "backend": "swarm",
+                    "wall_seconds": wall,
+                    "cycles": None,
+                    "steps": None,
+                    "steps_per_second": None,
+                    "exact_cycles": True,
+                    "mteps": (sres.edges_scanned / wall / 1e6
+                              if wall > 0 else 0.0),
+                    "edges_scanned": sres.edges_scanned,
+                    "n_levels": sres.n_levels,
+                    "pushes": sres.pushes,
+                    "pulls": sres.pulls,
+                    "events": None,
+                    "fallback_lane_fraction": None,
+                })
+                continue
             if use_frontier:
                 from repro.core.frontier import run_frontier
 
@@ -381,6 +439,8 @@ def record_trajectory(result: Dict) -> pathlib.Path:
 def _mode_tag(entry: Dict) -> str:
     if entry.get("turbo"):
         return "turbo"
+    if entry.get("backend", "dfs") == "swarm":
+        return f"swarm:{entry.get('batch') or 1}"
     if entry.get("batch"):
         return f"hive:{entry['batch']}"
     if entry.get("backend", "dfs") != "dfs":
@@ -469,13 +529,15 @@ def render(result: Dict) -> str:
         mode = f" [hive batch={result['batch']}]"
     if result.get("backend", "dfs") != "dfs":
         mode = f" [backend={result['backend']}]"
+        if result.get("backend") == "swarm":
+            mode = f" [swarm batch={result.get('batch') or 1}]"
     lines = [f"{'case':<12s} {'wall(s)':>9s} {'cycles':>10s} {'steps':>7s} "
              f"{'steps/s':>10s}{mode}"]
     for c in result["cases"]:
-        if c.get("backend", "dfs") == "frontier":
+        if c.get("backend", "dfs") in ("frontier", "swarm"):
             lines.append(
                 f"{c['name']:<12s} {c['wall_seconds']:9.4f} "
-                f"{'frontier':>10s} {c['n_levels']:>5d}L "
+                f"{c['backend']:>10s} {c['n_levels']:>5d}L "
                 f"{c['mteps']:>8.1f} MTEPS"
             )
             continue
@@ -507,12 +569,14 @@ def main(argv=None) -> int:
                              "the hive engine (bit-identical "
                              "cycles/steps; wall time is per run)")
     parser.add_argument("--backend", default="dfs",
-                        choices=("auto", "dfs", "frontier"),
+                        choices=("auto", "dfs", "frontier", "swarm"),
                         help="engine family: frontier runs the "
                              "bit-packed SpMV engine (MTEPS, no "
-                             "simulated cycles); auto routes per graph "
-                             "regime; frontier-run cases skip the "
-                             "cycles/wall baseline gate")
+                             "simulated cycles); swarm runs --batch "
+                             "lockstep lanes of the multi-root engine "
+                             "(amortized per-root wall); auto routes "
+                             "per graph regime; frontier/swarm-run "
+                             "cases skip the cycles/wall baseline gate")
     parser.add_argument("--compare", nargs=2, type=int, metavar=("A", "B"),
                         default=None,
                         help="diff two recorded trajectory entries by "
@@ -544,7 +608,10 @@ def main(argv=None) -> int:
         return 0
     if args.turbo and args.batch:
         parser.error("--batch selects the hive engine; drop --turbo")
-    if args.backend != "dfs" and (args.turbo or args.batch):
+    if args.backend == "swarm":
+        if args.turbo:
+            parser.error("--backend swarm cannot combine with --turbo")
+    elif args.backend != "dfs" and (args.turbo or args.batch):
         parser.error("--backend frontier/auto cannot combine with "
                      "--turbo/--batch")
 

@@ -5,13 +5,14 @@ Subcommands::
     python -m repro.check fuzz [--cases N | --smoke | --seconds S]
                                [--start-seed K] [--stress] [--turbo]
                                [--hive] [--frontier] [--shard]
-                               [--no-shrink]
+                               [--swarm] [--no-shrink]
     python -m repro.check repro <seed> [--stress] [--turbo] [--hive]
-                                       [--frontier] [--shard]
+                                       [--frontier] [--shard] [--swarm]
                                        [--mutation NAME]
     python -m repro.check repro --case '<json>' [--mutation NAME]
     python -m repro.check mutants [--names a,b] [--budget N] [--turbo]
                                   [--hive] [--frontier] [--shard]
+                                  [--swarm]
 
 ``fuzz`` samples seed-derived cases and runs each through the oracle
 ladder, shrinking the first failure and exiting non-zero with a one-line
@@ -64,7 +65,8 @@ def cmd_fuzz(args) -> int:
         case = case_from_seed(seed, stress=args.stress)
         failure = check_case(case, stress=args.stress, turbo=args.turbo,
                              hive=args.hive, serve=args.serve,
-                             frontier=args.frontier, shard=args.shard)
+                             frontier=args.frontier, shard=args.shard,
+                             swarm=args.swarm)
         ran += 1
         if failure is not None:
             _echo(failure.report())
@@ -98,7 +100,8 @@ def cmd_repro(args) -> int:
     _echo(f"case: {case.describe()}")
     failure = check_case(case, mutation=args.mutation, stress=args.stress,
                          turbo=args.turbo, hive=args.hive, serve=args.serve,
-                         frontier=args.frontier, shard=args.shard)
+                         frontier=args.frontier, shard=args.shard,
+                         swarm=args.swarm)
     if failure is None:
         _echo("PASS: all oracle stages agree")
         return 0
@@ -116,7 +119,8 @@ def run_mutant(name: str, *, budget: int = MUTANT_CASE_BUDGET,
                hive: bool = False,
                serve: bool = False,
                frontier: bool = False,
-               shard: bool = False) -> Optional[CheckFailure]:
+               shard: bool = False,
+               swarm: bool = False) -> Optional[CheckFailure]:
     """Fuzz one mutation with stress cases; return its first detection.
 
     ``turbo=True`` runs the primary pass under the fused turbo loop;
@@ -132,7 +136,7 @@ def run_mutant(name: str, *, budget: int = MUTANT_CASE_BUDGET,
             case = case.with_(perturb_seed=None, jitter=0)
         failure = check_case(case, mutation=name, stress=True, turbo=turbo,
                              hive=hive, serve=serve, frontier=frontier,
-                             shard=shard)
+                             shard=shard, swarm=swarm)
         if failure is not None:
             return failure
     return None
@@ -149,7 +153,8 @@ def cmd_mutants(args) -> int:
         t0 = time.monotonic()
         failure = run_mutant(name, budget=args.budget, turbo=args.turbo,
                              hive=args.hive, serve=args.serve,
-                             frontier=args.frontier, shard=args.shard)
+                             frontier=args.frontier, shard=args.shard,
+                             swarm=args.swarm)
         dt = time.monotonic() - t0
         if failure is None:
             missed.append(name)
@@ -209,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "unsharded engine on reachability and edge "
                            "inspections and be k-invariant on every "
                            "case")
+    fuzz.add_argument("--swarm", action="store_true",
+                      help="add the swarm differential rung: every "
+                           "case-root lane of a three-lane lockstep "
+                           "batch must be bit-identical to the "
+                           "single-root frontier engine and agree "
+                           "with the DFS/bfs_levels/min-parent "
+                           "references on every case")
     fuzz.add_argument("--verbose", action="store_true")
     fuzz.set_defaults(func=cmd_fuzz)
 
@@ -228,6 +240,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add the frontier differential rung")
     repro.add_argument("--shard", action="store_true",
                        help="add the shard differential rung")
+    repro.add_argument("--swarm", action="store_true",
+                       help="add the swarm differential rung")
     repro.add_argument("--mutation", type=str, default=None,
                        choices=sorted(MUTATIONS))
     repro.set_defaults(func=cmd_repro)
@@ -258,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "differential rung active (injected bugs "
                               "must be caught through the sharded "
                               "tier's merge and self-checks)")
+    mutants.add_argument("--swarm", action="store_true",
+                         help="run every mutant with the swarm "
+                              "differential rung active (injected DFS "
+                              "bugs must still be caught with the "
+                              "lockstep swarm oracle in the ladder)")
     mutants.add_argument("--verbose", action="store_true")
     mutants.set_defaults(func=cmd_mutants)
     return parser

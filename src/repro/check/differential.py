@@ -49,6 +49,16 @@ fixed oracle ladder and reports the first failure (or None):
    min-parent oracle (undirected cases), and the two k values must be
    bit-identical to each other (the canonical merge promises
    k-invariance);
+5g. **swarm differential** (opt-in via ``swarm=True``) — run the case's
+   root as one lane of a three-lane lockstep swarm batch
+   (:mod:`repro.core.swarm`, with a second distinct root and the case
+   root duplicated); every case-root lane must be bit-identical to the
+   single-root :func:`~repro.core.frontier.run_frontier` result on
+   visited, parent, level and the push/pull/edges-scanned profile, its
+   visited set must equal the DFS's, its levels must equal
+   ``bfs_levels``, and its parent tree must equal the independent
+   min-parent oracle (undirected cases) — lane batching must never
+   leak state across lanes;
 6. **scheduler differential** — heap vs calendar-queue rerun must agree
    exactly (skipped under perturbation, which bypasses both);
 7. **PDFS baseline differential** — CKL-PDFS reachability on the same
@@ -96,6 +106,7 @@ class CheckFailure:
     serve: bool = False
     frontier: bool = False
     shard: bool = False
+    swarm: bool = False
 
     @property
     def repro_command(self) -> str:
@@ -118,6 +129,8 @@ class CheckFailure:
             cmd += " --frontier"
         if self.shard:
             cmd += " --shard"
+        if self.swarm:
+            cmd += " --swarm"
         if self.mutation:
             cmd += f" --mutation {self.mutation}"
         return cmd
@@ -185,6 +198,7 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                stress: bool = False, turbo: bool = False,
                hive: bool = False, serve: bool = False,
                frontier: bool = False, shard: bool = False,
+               swarm: bool = False,
                check_every: Optional[int] = None) -> Optional[CheckFailure]:
     """Run the full oracle ladder on ``case``; None means it passed.
 
@@ -223,6 +237,14 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
     on levels, with the min-parent oracle on the tree (undirected
     cases), and be bit-identical between k=2 and k=4.
 
+    ``swarm`` adds the swarm differential rung: the case's root runs as
+    one lane of a three-lane lockstep batch (with a second distinct
+    root in the middle and the case root duplicated at the end, so
+    cross-lane leakage has somewhere to come from) and every case-root
+    lane must be bit-identical to the single-root frontier engine while
+    also agreeing with the DFS, ``bfs_levels`` and the min-parent
+    oracle.
+
     ``check_every`` defaults to a per-step sweep (1) in stress mode —
     transient corruption (e.g. an ABA duplicate that the victim pops a
     step later) is only visible to a sweep that runs before the next
@@ -235,7 +257,7 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
         return CheckFailure(case=case, stage=stage, message=str(message),
                             mutation=mutation, stress=stress, turbo=turbo,
                             hive=hive, serve=serve, frontier=frontier,
-                            shard=shard)
+                            shard=shard, swarm=swarm)
 
     with apply_mutation(mutation):
         # Stage 1: monitored run (invariant hooks + periodic sweep).
@@ -588,6 +610,93 @@ def check_case(case: FuzzCase, *, mutation: Optional[str] = None,
                     != sharded[4].traversal.edges_traversed):
                 return fail("shard-diff",
                             "k=2 vs k=4 edge inspections diverge")
+
+        # Stage 5g: swarm differential — the case root runs as lanes 0
+        # and 2 of a three-lane lockstep batch (a *different* root in
+        # the middle, so cross-lane state leakage has a source, and the
+        # case root duplicated, so per-lane retirement and swap removal
+        # get exercised on identical twins).  Every case-root lane must
+        # be bit-identical to the single-root frontier engine, and the
+        # whole contract is re-pinned against the independent
+        # references: DFS reachability, bfs_levels, min-parent oracle.
+        if swarm:
+            from repro.core.frontier import min_parent_tree, run_frontier
+            from repro.core.swarm import run_swarm
+            from repro.graphs.properties import bfs_levels
+
+            n = graph.n_vertices
+            other = (case.root + max(1, n // 2)) % n
+            roots = [case.root, other, case.root]
+            try:
+                single = run_frontier(graph, case.root)
+                lanes = run_swarm(graph, roots)
+                validate_traversal(graph, lanes[0].traversal)
+            except ReproError as exc:
+                return fail("swarm-diff", f"{type(exc).__name__}: {exc}")
+            for li in (0, 2):
+                lane = lanes[li]
+                if not np.array_equal(lane.traversal.visited,
+                                      single.traversal.visited):
+                    return fail(
+                        "swarm-diff",
+                        f"lane {li}: visited set diverges from the "
+                        f"single-root frontier engine (lanes must be "
+                        f"bit-identical)")
+                if not np.array_equal(lane.traversal.parent,
+                                      single.traversal.parent):
+                    diff = np.flatnonzero(lane.traversal.parent
+                                          != single.traversal.parent)
+                    return fail(
+                        "swarm-diff",
+                        f"lane {li}: parent diverges from the "
+                        f"single-root frontier engine at {diff.size} "
+                        f"vertices (e.g. {diff[:5].tolist()})")
+                if not np.array_equal(lane.level, single.level):
+                    return fail(
+                        "swarm-diff",
+                        f"lane {li}: level array diverges from the "
+                        f"single-root frontier engine")
+                if (lane.n_levels, lane.pushes, lane.pulls,
+                        lane.edges_scanned) != (single.n_levels,
+                                                single.pushes,
+                                                single.pulls,
+                                                single.edges_scanned):
+                    return fail(
+                        "swarm-diff",
+                        f"lane {li}: execution profile diverges from the "
+                        f"single-root frontier engine: "
+                        f"levels/pushes/pulls/edges "
+                        f"{lane.n_levels}/{lane.pushes}/{lane.pulls}/"
+                        f"{lane.edges_scanned} vs "
+                        f"{single.n_levels}/{single.pushes}/"
+                        f"{single.pulls}/{single.edges_scanned}")
+            if not np.array_equal(lanes[0].traversal.visited,
+                                  result.traversal.visited):
+                missing = np.flatnonzero(result.traversal.visited
+                                         & ~lanes[0].traversal.visited)
+                extra = np.flatnonzero(~result.traversal.visited
+                                       & lanes[0].traversal.visited)
+                return fail(
+                    "swarm-diff",
+                    f"visited set differs from DFS: {missing.size} "
+                    f"missing (e.g. {missing[:5].tolist()}), "
+                    f"{extra.size} extra (e.g. {extra[:5].tolist()})")
+            ref_levels = bfs_levels(graph, case.root)
+            if not np.array_equal(lanes[0].level, ref_levels):
+                diff = np.flatnonzero(lanes[0].level != ref_levels)
+                return fail(
+                    "swarm-diff",
+                    f"level array diverges from bfs_levels at "
+                    f"{diff.size} vertices (e.g. {diff[:5].tolist()})")
+            if not graph.directed:
+                oracle = min_parent_tree(graph, ref_levels, case.root)
+                if not np.array_equal(lanes[0].traversal.parent, oracle):
+                    diff = np.flatnonzero(
+                        lanes[0].traversal.parent != oracle)
+                    return fail(
+                        "swarm-diff",
+                        f"parent diverges from the min-parent oracle at "
+                        f"{diff.size} vertices (e.g. {diff[:5].tolist()})")
 
         # Stage 6: scheduler differential (heap vs calendar queue).
         # Perturbed runs use the dedicated perturbation loop, which

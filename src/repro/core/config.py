@@ -336,10 +336,17 @@ class ServeConfig:
         Traversal backend for DFS queries: ``"dfs"`` (default) answers
         every query with the DFS simulation tiers exactly as before;
         ``"frontier"`` forces the bit-packed frontier engine
-        (:mod:`repro.core.frontier`); ``"auto"`` routes per graph shape
-        through :func:`repro.core.dispatch.choose_backend` — shallow
-        graphs go to the frontier engine, deep/mid graphs and any query
-        carrying engine-config overrides stay on DFS.  Routing is a
+        (:mod:`repro.core.frontier`); ``"swarm"`` forces the
+        lane-batched swarm tier (:mod:`repro.core.swarm`) — a whole
+        admission group runs as one lockstep multi-root batch; ``"auto"``
+        routes per graph shape through
+        :func:`repro.core.dispatch.choose_backend` — degenerate graphs
+        go straight to the frontier engine, shallow graphs to the
+        frontier side (swarm when ``max_batch`` allows coalescing),
+        deep/mid graphs and any query carrying engine-config overrides
+        stay on DFS, and a recorded calibration artifact
+        (``benchmarks/calibration_routing.json``) replaces the regime
+        proxy with measured per-regime costs.  Routing is a
         deterministic function of the graph fingerprint and the query,
         and the resolved backend is part of the result-cache key.
     shards:

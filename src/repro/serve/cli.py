@@ -85,6 +85,12 @@ async def _run_daemon(args: argparse.Namespace) -> int:
     from repro.serve.client import default_socket_path
     from repro.serve.corpus import load_corpus
     from repro.serve.server import ServeServer
+    from repro.utils.malloc import retain_large_blocks
+
+    # The daemon runs swarm batches back to back; retaining the malloc
+    # arena keeps their transient state resident instead of re-faulting
+    # it from the kernel on every batch.
+    retain_large_blocks()
 
     config = ServeConfig()
     overrides = {}

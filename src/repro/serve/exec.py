@@ -94,6 +94,17 @@ def _frontier(graph, root: int, overrides) -> Dict[str, Any]:
     return frontier_result_to_dict(run_frontier(graph, root))
 
 
+def _swarm_single(graph, root: int, overrides) -> Dict[str, Any]:
+    # One-lane swarm: bit-identical to _frontier except for the backend
+    # marker.  Used when a swarm-resolved admission group flushes with a
+    # single query (narrow traffic inside the window).
+    build_engine_config(overrides)
+    from repro.core.swarm import run_swarm
+
+    return frontier_result_to_dict(run_swarm(graph, [root])[0],
+                                   backend="swarm")
+
+
 def _scc(graph, root: int, overrides) -> Dict[str, Any]:
     from repro.apps import strongly_connected_components
 
@@ -169,7 +180,7 @@ def execute_query(wire_graph, op: str, root: int,
     """Execute one query; returns the result dict or an error marker.
 
     ``backend`` is the *resolved* engine family for ``dfs`` queries
-    (``"dfs"`` or ``"frontier"``) — callers route through
+    (``"dfs"``, ``"frontier"`` or ``"swarm"``) — callers route through
     :func:`repro.core.dispatch.choose_backend` first; this function
     just executes.  Non-DFS ops ignore it.
     """
@@ -180,6 +191,8 @@ def execute_query(wire_graph, op: str, root: int,
                 f"root {root} out of range for {graph.n_vertices} vertices")
         if op == "dfs" and backend == "frontier":
             return _frontier(graph, root, overrides)
+        if op == "dfs" and backend == "swarm":
+            return _swarm_single(graph, root, overrides)
         return _EXECUTORS[op](graph, root, overrides)
     except ReproError as exc:
         return _error_marker(exc)
@@ -188,6 +201,36 @@ def execute_query(wire_graph, op: str, root: int,
 # ---------------------------------------------------------------------------
 # Batched DFS.
 # ---------------------------------------------------------------------------
+
+def _swarm_batch(graph, tasks: List[Tuple[int, Optional[Dict[str, Any]]]]
+                 ) -> List[Dict[str, Any]]:
+    """One lockstep swarm over every valid task; markers for the rest."""
+    from repro.core.swarm import run_swarm
+
+    out: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+    lanes: List[int] = []
+    for i, (root, ov) in enumerate(tasks):
+        try:
+            build_engine_config(ov)
+            if root < 0 or root >= graph.n_vertices:
+                raise ProtocolError(
+                    f"root {root} out of range for "
+                    f"{graph.n_vertices} vertices")
+        except ReproError as exc:
+            out[i] = _error_marker(exc)
+        else:
+            lanes.append(i)
+    if lanes:
+        try:
+            results = run_swarm(graph, [tasks[i][0] for i in lanes])
+        except ReproError as exc:
+            for i in lanes:
+                out[i] = _error_marker(exc)
+        else:
+            for i, res in zip(lanes, results):
+                out[i] = frontier_result_to_dict(res, backend="swarm")
+    return out
+
 
 def _sharded(graph, root: int, overrides, shards: int,
              jobs: int) -> Dict[str, Any]:
@@ -219,6 +262,13 @@ def execute_dfs_batch(wire_graph,
     batch shares the resolved backend); frontier runs are per-root
     array passes with no lockstep analogue, so the batch is a loop.
 
+    ``backend="swarm"`` runs every valid task as one lane of a single
+    :func:`repro.core.swarm.run_swarm` lockstep batch — the frontier
+    analogue of the hive path.  Tasks with a bad config or root settle
+    as per-task error markers; the remaining lanes still swarm
+    together, and each lane's payload is bit-identical to the
+    single-root frontier answer (modulo the ``backend`` marker).
+
     ``backend="shard"`` answers every task with the sharded tier
     (:func:`repro.core.shard.run_sharded`, ``k = shards`` districts,
     ``jobs = shard_jobs`` concurrent district workers).  Shard batches
@@ -230,6 +280,8 @@ def execute_dfs_batch(wire_graph,
     if backend == "frontier":
         return [execute_query(graph, "dfs", root, ov, backend="frontier")
                 for root, ov in tasks]
+    if backend == "swarm":
+        return _swarm_batch(graph, tasks)
     if backend == "shard":
         out: List[Dict[str, Any]] = []
         for root, ov in tasks:

@@ -297,16 +297,19 @@ def sharded_result_to_dict(res) -> Dict[str, Any]:
     }
 
 
-def frontier_result_to_dict(res) -> Dict[str, Any]:
+def frontier_result_to_dict(res, backend: str = "frontier"
+                            ) -> Dict[str, Any]:
     """Canonical payload of one :class:`~repro.core.frontier.FrontierResult`.
 
     Shares the traversal keys with :func:`dfs_result_to_dict` (sparse
     ``visited``, dense ``parent``); instead of simulated cycles/steps it
     carries the frontier engine's level profile, plus a ``backend``
-    marker so clients can tell which engine family answered.  The
-    payload is a pure function of the graph and root (the min-parent
-    tie-break is deterministic), so it caches and replays like any DFS
-    payload.
+    marker so clients can tell which engine family answered — the swarm
+    tier passes ``backend="swarm"`` (its lanes are bit-identical to
+    single-root frontier runs, so everything except the marker matches).
+    The payload is a pure function of the graph and root (the
+    min-parent tie-break is deterministic), so it caches and replays
+    like any DFS payload.
     """
     t = res.traversal
     return {
@@ -316,7 +319,7 @@ def frontier_result_to_dict(res) -> Dict[str, Any]:
         "visited": np.flatnonzero(t.visited).tolist(),
         "n_visited": int(t.n_visited),
         "edges_traversed": int(t.edges_traversed),
-        "backend": "frontier",
+        "backend": backend,
         "n_levels": int(res.n_levels),
         "pushes": int(res.pushes),
         "pulls": int(res.pulls),

@@ -71,7 +71,8 @@ class ServerStats:
         "connections", "requests", "responses", "errors",
         "cache_hits", "cache_misses", "coalesced",
         "batches", "batched_queries", "hive_batches",
-        "backend_dfs", "backend_frontier", "backend_shard",
+        "backend_dfs", "backend_frontier", "backend_swarm",
+        "backend_shard",
         "pool_broken", "shm_fallbacks", "inline_fallbacks",
         "dropped_responses", "protocol_errors",
     )
@@ -365,18 +366,25 @@ class ServeServer:
     def _resolve_backend(self, entry: ResidentGraph, req: Request) -> str:
         """Resolved engine family for one DFS query (deterministic).
 
-        Pure function of (knob, graph regime, overrides), so cache keys
-        and single-flight identity stay stable across repeats.  The
-        regime BFS only runs under ``backend="auto"`` (and is memoized
-        per resident graph); forced knobs never pay it.
+        Pure function of (knob, graph regime, overrides, admission
+        width, calibration artifact), so cache keys and single-flight
+        identity stay stable across repeats.  The regime BFS only runs
+        under ``backend="auto"`` (and is memoized per resident graph);
+        forced knobs never pay it.  ``batch_hint`` is the admission
+        window's ``max_batch`` — the coalescing the daemon *can* do —
+        which is what makes the swarm tier auto-eligible on shallow
+        graphs: swarm-resolved queries form their own admission groups
+        and flush as one lockstep batch.
         """
         from repro.core.dispatch import choose_backend
 
         regime = (entry.regime()
                   if self.config.backend == "auto" else None)
-        backend = choose_backend(requested=self.config.backend,
+        backend = choose_backend(entry.graph,
+                                 requested=self.config.backend,
                                  regime=regime,
-                                 overrides=req.config).backend
+                                 overrides=req.config,
+                                 batch_hint=self.config.max_batch).backend
         # Shard-tier promotion: with the knob on, override-free DFS
         # queries on large graphs go to the sharded execution tier.
         # Parameterized queries ask for a specific single-engine

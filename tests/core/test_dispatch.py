@@ -1,29 +1,45 @@
-"""Routing rules of repro.core.dispatch.choose_backend, pinned."""
+"""Routing rules of repro.core.dispatch.choose_backend, pinned.
+
+Regime-proxy tests pass ``calibration={}`` (an empty table) so they
+stay deterministic even when a recorded calibration artifact is
+checked in under ``benchmarks/``; the calibrated path gets its own
+explicit tables below.
+"""
+
+import json
 
 import pytest
 
 from repro.core.dispatch import (
     BACKEND_CHOICES,
     BACKENDS,
+    SWARM_MIN_BATCH,
     BackendDecision,
     choose_backend,
     graph_regime,
+    load_calibration,
 )
 from repro.errors import SimulationError
 from repro.graphs import generators as gen
+from repro.graphs.csr import from_edges
+
+import numpy as np
 
 
 def test_choice_constants():
-    assert BACKENDS == ("dfs", "frontier")
-    assert BACKEND_CHOICES == ("auto", "dfs", "frontier")
+    assert BACKENDS == ("dfs", "frontier", "swarm")
+    assert BACKEND_CHOICES == ("auto", "dfs", "frontier", "swarm")
+    assert SWARM_MIN_BATCH >= 2
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_forced_backend_wins_regardless_of_regime(backend):
-    # A forced backend ignores both the regime and any overrides.
+    # A forced backend ignores the regime, overrides, and calibration.
     for regime in ("deep", "shallow", "mid", None):
         d = choose_backend(requested=backend, regime=regime,
-                           overrides={"n_blocks": 2})
+                           overrides={"n_blocks": 2},
+                           calibration={"regimes": {"shallow":
+                                                    {"dfs": 1e-9}}})
         assert d == BackendDecision(backend=backend,
                                     regime=regime or "unknown",
                                     reason="forced")
@@ -33,17 +49,19 @@ def test_forced_backend_needs_no_graph():
     # The serve layer's forced knobs must never pay the regime BFS.
     assert choose_backend(requested="dfs").backend == "dfs"
     assert choose_backend(requested="frontier").backend == "frontier"
+    assert choose_backend(requested="swarm").backend == "swarm"
 
 
 def test_auto_with_overrides_is_config_pinned():
     # Engine-config overrides ask for a specific DFS simulation;
-    # the frontier engine cannot answer those queries.
+    # the frontier engines cannot answer those queries.
     d = choose_backend(requested="auto", regime="shallow",
                        overrides={"steal_policy": "random"})
     assert d.backend == "dfs"
     assert d.reason == "config-pinned"
     # ... but an *empty* overrides mapping routes by regime.
-    d = choose_backend(requested="auto", regime="shallow", overrides={})
+    d = choose_backend(requested="auto", regime="shallow", overrides={},
+                       calibration={})
     assert d.backend == "frontier"
     assert d.reason == "regime"
 
@@ -54,17 +72,35 @@ def test_auto_with_overrides_is_config_pinned():
     ("mid", "dfs"),
 ])
 def test_auto_routes_by_regime(regime, backend):
-    d = choose_backend(requested="auto", regime=regime)
+    d = choose_backend(requested="auto", regime=regime, calibration={})
     assert d.backend == backend
     assert d.regime == regime
     assert d.reason == "regime"
 
 
+def test_auto_prefers_swarm_when_batchable_and_shallow():
+    d = choose_backend(requested="auto", regime="shallow",
+                       batch_hint=SWARM_MIN_BATCH, calibration={})
+    assert d.backend == "swarm"
+    assert d.reason == "regime"
+    # Deep/mid stay on DFS no matter how wide the batch is.
+    for regime in ("deep", "mid"):
+        d = choose_backend(requested="auto", regime=regime,
+                           batch_hint=256, calibration={})
+        assert d.backend == "dfs"
+    # A single root cannot amortize the lane machinery.
+    d = choose_backend(requested="auto", regime="shallow", batch_hint=1,
+                       calibration={})
+    assert d.backend == "frontier"
+
+
 def test_auto_profiles_the_graph_when_no_regime_given():
-    shallow = choose_backend(gen.star_graph(400), requested="auto")
+    shallow = choose_backend(gen.star_graph(400), requested="auto",
+                             calibration={})
     assert shallow.backend == "frontier"
     assert shallow.regime == "shallow"
-    deep = choose_backend(gen.path_graph(400), requested="auto")
+    deep = choose_backend(gen.path_graph(400), requested="auto",
+                          calibration={})
     assert deep.backend == "dfs"
     assert deep.regime == "deep"
 
@@ -72,8 +108,134 @@ def test_auto_profiles_the_graph_when_no_regime_given():
 def test_precomputed_regime_short_circuits_the_probe():
     # A supplied regime must win over what the graph would profile as.
     d = choose_backend(gen.path_graph(400), requested="auto",
-                       regime="shallow")
+                       regime="shallow", calibration={})
     assert d.backend == "frontier"
+
+
+# ---------------------------------------------------------------------------
+# Degenerate graphs: routed explicitly, never through the classifier.
+# ---------------------------------------------------------------------------
+
+def _isolated_graph(n):
+    return from_edges(n, np.empty((0, 2), dtype=np.int64))
+
+
+@pytest.mark.parametrize("build", [
+    lambda: gen.path_graph(1),                      # single vertex
+    lambda: _isolated_graph(1),                     # single, zero-edge
+    lambda: _isolated_graph(64),                    # all-isolated
+    lambda: _isolated_graph(0),                     # empty graph
+], ids=["single-vertex", "single-isolated", "all-isolated", "empty"])
+def test_degenerate_graphs_route_explicitly(build):
+    g = build()
+    d = choose_backend(g, requested="auto", calibration={})
+    assert d == BackendDecision(backend="frontier", regime="degenerate",
+                                reason="degenerate")
+    # ... even when the caller supplies a (stale) regime, and even when
+    # a calibration table would have preferred another backend.
+    d = choose_backend(g, requested="auto", regime="deep",
+                       calibration={"regimes": {"deep": {"dfs": 1e-9}}})
+    assert d.reason == "degenerate"
+    assert d.backend == "frontier"
+
+
+def test_degenerate_never_probes_the_regime(monkeypatch):
+    import repro.core.dispatch as dispatch
+
+    def boom(*a, **k):  # pragma: no cover - failure path
+        raise AssertionError("regime probe ran on a degenerate graph")
+
+    monkeypatch.setattr(dispatch, "graph_regime", boom)
+    d = choose_backend(_isolated_graph(32), requested="auto",
+                       calibration={})
+    assert d.reason == "degenerate"
+
+
+def test_forced_and_pinned_still_beat_degenerate():
+    g = _isolated_graph(8)
+    assert choose_backend(g, requested="dfs").reason == "forced"
+    d = choose_backend(g, requested="auto", overrides={"n_blocks": 2})
+    assert d.reason == "config-pinned"
+
+
+# ---------------------------------------------------------------------------
+# Calibrated routing: measured cost table beats the regime proxy.
+# ---------------------------------------------------------------------------
+
+CAL = {
+    "version": 1,
+    "regimes": {
+        "shallow": {"dfs": 5e-3, "frontier": 4e-4, "swarm": 5e-5},
+        "deep": {"dfs": 2e-4, "frontier": 9e-3, "swarm": 3e-3},
+        "mid": {"dfs": 1e-3, "frontier": 8e-4, "swarm": 2e-4},
+    },
+}
+
+
+def test_calibrated_routing_picks_cheapest_backend():
+    d = choose_backend(requested="auto", regime="shallow", batch_hint=256,
+                       calibration=CAL)
+    assert d == BackendDecision("swarm", "shallow", "calibrated")
+    d = choose_backend(requested="auto", regime="deep", batch_hint=256,
+                       calibration=CAL)
+    assert d == BackendDecision("dfs", "deep", "calibrated")
+    # Measured table can overturn the proxy: mid routes to swarm here,
+    # where the proxy would have said dfs.
+    d = choose_backend(requested="auto", regime="mid", batch_hint=256,
+                       calibration=CAL)
+    assert d == BackendDecision("swarm", "mid", "calibrated")
+
+
+def test_calibrated_swarm_needs_a_batch():
+    # Without a batch, swarm is ineligible; the next-cheapest wins.
+    d = choose_backend(requested="auto", regime="shallow", batch_hint=1,
+                       calibration=CAL)
+    assert d == BackendDecision("frontier", "shallow", "calibrated")
+
+
+def test_calibration_falls_back_to_proxy_when_regime_missing():
+    table = {"regimes": {"deep": {"dfs": 1e-4}}}
+    d = choose_backend(requested="auto", regime="shallow",
+                       calibration=table)
+    assert d.reason == "regime"
+    assert d.backend == "frontier"
+    # Unknown backends and non-positive costs are ignored.
+    junk = {"regimes": {"shallow": {"gpu": 1e-9, "frontier": 0.0}}}
+    d = choose_backend(requested="auto", regime="shallow",
+                       calibration=junk)
+    assert d.reason == "regime"
+
+
+def test_load_calibration_missing_and_corrupt(tmp_path):
+    assert load_calibration(tmp_path / "nope.json") is None
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert load_calibration(bad) is None
+    not_table = tmp_path / "scalar.json"
+    not_table.write_text("42")
+    assert load_calibration(not_table) is None
+
+
+def test_load_calibration_reads_and_routes(tmp_path):
+    art = tmp_path / "calibration_routing.json"
+    art.write_text(json.dumps(CAL))
+    table = load_calibration(art)
+    assert table["regimes"]["shallow"]["swarm"] == 5e-5
+    d = choose_backend(requested="auto", regime="shallow", batch_hint=64,
+                       calibration=table)
+    assert d.backend == "swarm"
+
+
+def test_load_calibration_hot_reloads_on_rewrite(tmp_path):
+    art = tmp_path / "calibration_routing.json"
+    art.write_text(json.dumps(CAL))
+    assert load_calibration(art)["regimes"]["deep"]["dfs"] == 2e-4
+    import os
+    updated = {"regimes": {"deep": {"dfs": 7e-7}}}
+    art.write_text(json.dumps(updated))
+    # Force a distinct mtime even on coarse filesystem clocks.
+    os.utime(art, ns=(1, 10**18))
+    assert load_calibration(art)["regimes"]["deep"]["dfs"] == 7e-7
 
 
 def test_invalid_requested_backend_raises():

@@ -95,3 +95,69 @@ class TestWarmStart:
 
     def test_mteps_positive(self, small_road):
         assert run_diggerbees_multi(small_road, [0], config=CFG).mteps > 0
+
+
+class TestSwarmEquivalence:
+    """Warm-start forest vs the swarm lockstep tier on the same roots.
+
+    The two batch either-side engines answer different questions from
+    the same seeds: the DFS forest *partitions* each component among
+    the roots that landed in it, while every swarm lane traverses its
+    root's whole component independently.  What must agree is the
+    reachability they establish — and each swarm lane must stay
+    bit-identical to its own single-root frontier run even when lanes
+    overlap on a component.
+    """
+
+    def _swarm(self, graph, roots):
+        from repro.core.swarm import run_swarm
+
+        return run_swarm(graph, np.asarray(roots, dtype=np.int64))
+
+    def test_union_reachability_matches(self, disconnected_graph):
+        roots = [0, 3, 5]
+        forest = run_diggerbees_multi(disconnected_graph, roots, config=CFG)
+        lanes = self._swarm(disconnected_graph, roots)
+        union = np.zeros(disconnected_graph.n_vertices, dtype=bool)
+        for res in lanes:
+            union |= res.traversal.visited
+        assert np.array_equal(union, forest.traversal.visited)
+
+    def test_overlapping_roots_same_component(self, small_road):
+        """Roots sharing one component: the forest partitions it, the
+        lanes each cover it — visited sets agree in the union, parents
+        are independent per lane."""
+        from repro.core.frontier import run_frontier
+
+        roots = [0, 100, 200]
+        forest = run_diggerbees_multi(small_road, roots, config=CFG)
+        lanes = self._swarm(small_road, roots)
+        for root, res in zip(roots, lanes):
+            # Every lane claims the whole component on its own...
+            assert np.array_equal(res.traversal.visited,
+                                  forest.traversal.visited)
+            # ...with its own min-parent tree rooted at its own seed,
+            # bit-identical to the single-root frontier engine.
+            single = run_frontier(small_road, root)
+            assert res.traversal.parent[root] == -1
+            assert np.array_equal(res.traversal.parent,
+                                  single.traversal.parent)
+            assert np.array_equal(res.level, single.level)
+        # Independent parents: overlapping lanes disagree on parents
+        # (different roots induce different min-parent trees) while the
+        # forest assigned each vertex to exactly one tree.
+        assert not np.array_equal(lanes[0].traversal.parent,
+                                  lanes[1].traversal.parent)
+
+    def test_duplicate_roots_give_identical_lanes(self, disconnected_graph):
+        forest = run_diggerbees_multi(disconnected_graph, [0, 0, 3],
+                                      config=CFG)
+        lanes = self._swarm(disconnected_graph, [0, 0, 3])
+        # multi_source drops exact duplicates; swarm runs both lanes
+        # and they must be bit-identical.
+        assert set(forest.roots) == {0, 3}
+        assert np.array_equal(lanes[0].traversal.parent,
+                              lanes[1].traversal.parent)
+        assert np.array_equal(lanes[0].level, lanes[1].level)
+        assert np.array_equal(lanes[0].traversal.visited,
+                              lanes[1].traversal.visited)

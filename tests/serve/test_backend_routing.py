@@ -14,6 +14,16 @@ from repro.serve.protocol import frontier_result_to_dict
 from tests.serve.conftest import serve_session
 
 
+@pytest.fixture(autouse=True)
+def _no_calibration(monkeypatch):
+    """Pin these tests to the regime proxy: a recorded calibration
+    artifact under benchmarks/ must not change routing expectations."""
+    import repro.core.dispatch as dispatch
+
+    monkeypatch.setattr(dispatch, "load_calibration",
+                        lambda path=None: None)
+
+
 def routing_graphs():
     return {
         "wide": gen.star_mesh(12, leaves_per_hub=9, seed=8),   # shallow
@@ -59,8 +69,14 @@ def test_forced_frontier_daemon_answers_with_frontier_payloads():
 
 def test_auto_routes_by_regime_and_pins_overrides():
     async def scenario(client, server, corpus, **_):
+        # A batching daemon (max_batch=8) routes shallow graphs to the
+        # swarm tier; the payload is the frontier payload with the
+        # swarm backend marker.
         shallow = await client.dfs("wide", 0)
-        assert shallow.result["backend"] == "frontier"
+        assert shallow.result["backend"] == "swarm"
+        expected = frontier_result_to_dict(
+            run_frontier(corpus.get("wide").graph, 0), backend="swarm")
+        assert shallow.result == expected
         deep = await client.dfs("spine", 0)
         assert "cycles" in deep.result  # DFS simulation payload
         # Engine-config overrides pin the query to the DFS simulation
@@ -69,7 +85,8 @@ def test_auto_routes_by_regime_and_pins_overrides():
             "dfs", "wide", root=0, config={"seed": 5}, no_cache=True)
         assert "cycles" in pinned.result
         status = await client.status()
-        assert status["stats"]["backend_frontier"] == 1
+        assert status["stats"]["backend_swarm"] == 1
+        assert status["stats"]["backend_frontier"] == 0
         assert status["stats"]["backend_dfs"] == 2
         # The regime was profiled once per resident graph and memoized.
         assert corpus.get("wide")._regime == "shallow"
@@ -77,6 +94,65 @@ def test_auto_routes_by_regime_and_pins_overrides():
 
     serve_session(scenario, graphs=routing_graphs(),
                   config=make_config("auto"))
+
+
+def test_auto_without_batching_stays_on_single_root_frontier():
+    async def scenario(client, server, corpus, **_):
+        resp = await client.dfs("wide", 0)
+        assert resp.result["backend"] == "frontier"
+        status = await client.status()
+        assert status["stats"]["backend_frontier"] == 1
+        assert status["stats"]["backend_swarm"] == 0
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=ServeConfig(batch_window=0.01, max_batch=1,
+                                     jobs=0, cache_dir="off",
+                                     backend="auto"))
+
+
+def test_forced_swarm_daemon_coalesces_into_one_lockstep_batch():
+    async def scenario(client, server, corpus, **_):
+        import asyncio
+
+        roots = [0, 3, 7, 11]
+        resps = await asyncio.gather(*[
+            client.dfs("spine", r) for r in roots])
+        for r, resp in zip(roots, resps):
+            assert resp.ok and resp.result["backend"] == "swarm"
+            expected = frontier_result_to_dict(
+                run_frontier(corpus.get("spine").graph, r),
+                backend="swarm")
+            assert resp.result == expected
+        # All four rode one admission group -> one swarm execution.
+        widths = {resp.batch for resp in resps}
+        assert widths == {len(roots)}
+        status = await client.status()
+        assert status["stats"]["backend_swarm"] == len(roots)
+        assert status["stats"]["backend_frontier"] == 0
+        # Forced knobs never pay the regime BFS.
+        assert corpus.get("spine")._regime is None
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=make_config("swarm"))
+
+
+def test_swarm_batch_isolates_bad_roots():
+    async def scenario(client, server, corpus, **_):
+        import asyncio
+
+        from repro.errors import ServeError
+
+        good, bad = 0, 10**6
+        ok_resp, bad_exc = await asyncio.gather(
+            client.dfs("wide", good),
+            client.query("dfs", "wide", root=bad, no_cache=True),
+            return_exceptions=True)
+        assert ok_resp.ok and ok_resp.result["backend"] == "swarm"
+        assert isinstance(bad_exc, ServeError)
+        assert "out of range" in str(bad_exc)
+
+    serve_session(scenario, graphs=routing_graphs(),
+                  config=make_config("swarm"))
 
 
 def test_frontier_payload_matches_dfs_reachability():
@@ -121,6 +197,9 @@ def test_result_key_separates_backends():
     fp = "deadbeef"
     dfs_key = result_key("dfs", 0, None, fp)
     assert result_key("dfs", 0, None, fp, "frontier") != dfs_key
+    assert result_key("dfs", 0, None, fp, "swarm") != dfs_key
+    assert result_key("dfs", 0, None, fp, "swarm") != \
+        result_key("dfs", 0, None, fp, "frontier")
     # The default backend is un-keyed so pre-existing DFS cache entries
     # (including disk spills) stay addressable.
     assert result_key("dfs", 0, None, fp, "dfs") == dfs_key
